@@ -1,0 +1,23 @@
+"""Fig. 3(a)/(b): unsafe fixed-penalty DRL vs the rule-based baseline.
+
+Paper shape: the penalised-but-unconstrained DRL agent exceeds 30 %
+SLA violation during online learning while the baseline holds zero,
+and its resource usage swings far from the baseline's steady level.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3(benchmark, bench_scale):
+    series = run_once(benchmark, fig3, scale=bench_scale)
+    peak = max(series["drl_violation_pct"])
+    print("\nFig. 3: DRL peak violation %.1f%% vs baseline %.1f%%; "
+          "baseline usage %.1f%%" % (
+              peak, series["baseline_violation_pct"],
+              series["baseline_usage_pct"]))
+    assert peak > series["baseline_violation_pct"]
+    assert peak >= 20.0
+    assert series["baseline_violation_pct"] <= 5.0

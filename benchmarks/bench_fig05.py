@@ -1,0 +1,19 @@
+"""Fig. 5: RDM low-overhead virtualisation.
+
+Paper shape: three slices given equal virtual radio resources jointly
+achieve (nearly) the vanilla system's data rate in both directions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5(benchmark):
+    series = run_once(benchmark, fig5)
+    print("\nFig. 5 (Mbps):", {k: {m: round(v, 1) for m, v in d.items()}
+                               for k, d in series.items()})
+    for key in ("dl_mbps", "ul_mbps"):
+        total = sum(series[f"Slice {i}"][key] for i in (1, 2, 3))
+        vanilla = series["Vanilla"][key]
+        assert 0.9 * vanilla <= total <= 1.05 * vanilla

@@ -1,0 +1,23 @@
+"""Fig. 6: MCS offset vs retransmission probability.
+
+Paper shape: monotone log-scale decay over offsets 0..10; the uplink
+falls from ~1e-1 to ~1e-5 (steeper than the downlink).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig6
+
+
+def test_fig6(benchmark):
+    series = run_once(benchmark, fig6)
+    ul = np.array(series["uplink"])
+    dl = np.array(series["downlink"])
+    print("\nFig. 6 retransmission probabilities:")
+    print("  UL:", [f"{p:.1e}" for p in ul])
+    print("  DL:", [f"{p:.1e}" for p in dl])
+    assert np.all(np.diff(ul) < 0) and np.all(np.diff(dl) < 0)
+    assert ul[0] > 5e-2 and ul[-1] < 5e-5
+    # uplink benefits more steeply than downlink
+    assert ul[-1] / ul[0] < dl[-1] / dl[0]

@@ -1,0 +1,34 @@
+"""Fig. 9: learning trajectories of all methods.
+
+Paper shape: OnSlicing's trajectory hugs the near-zero-violation axis
+and moves toward lower usage; OnRL's wanders at much higher violation;
+Baseline/Model_Based are fixed points with Model_Based the most
+expensive.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig9
+
+
+def test_fig9(benchmark, bench_scale):
+    series = run_once(benchmark, fig9, scale=bench_scale)
+    ons_viol = np.mean(series["OnSlicing"]["violation_pct"])
+    onrl_viol = np.mean(series["OnRL"]["violation_pct"])
+    print("\nFig. 9: OnSlicing mean violation %.2f%% vs OnRL %.2f%%" %
+          (ons_viol, onrl_viol))
+    print("  endpoint usages: OnSlicing %.1f%%, Baseline %.1f%%, "
+          "Model_Based %.1f%%" % (
+              series["OnSlicing"]["usage_pct"][-1],
+              series["Baseline"]["usage_pct"][0],
+              series["Model_Based"]["usage_pct"][0]))
+    assert ons_viol < onrl_viol
+    # At the shortened bench schedule OnSlicing has only begun its
+    # descent; assert it is at or below the Baseline's level and not
+    # above its own starting point (the full-scale run ends clearly
+    # below the Baseline -- see EXPERIMENTS.md).
+    assert series["OnSlicing"]["usage_pct"][-1] <= \
+        series["Baseline"]["usage_pct"][0] + 1.0
+    assert series["OnSlicing"]["usage_pct"][-1] <= \
+        series["OnSlicing"]["usage_pct"][0] + 0.5

@@ -1,0 +1,25 @@
+"""Fig. 10: offline imitation learning from the baseline.
+
+Paper shape: over BC epochs each agent's resource usage approaches the
+baseline policy's level (from the randomly-initialised policy's level).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10(benchmark):
+    series = run_once(benchmark, fig10, bc_epochs=24,
+                      offline_episodes=3)
+    print("\nFig. 10 (usage %, per BC epoch):")
+    for name in ("MAR", "HVS", "RDC"):
+        curve = series[name]["cloned_usage_pct"]
+        target = series[name]["baseline_usage_pct"]
+        print(f"  {name}: {[round(u, 1) for u in curve[::4]]} -> "
+              f"baseline {target:.1f}")
+        start_gap = abs(curve[0] - target)
+        end_gap = abs(curve[-1] - target)
+        assert end_gap < start_gap        # approaches the baseline
+        assert end_gap < 0.5 * start_gap  # and closes >half the gap

@@ -1,0 +1,22 @@
+"""Fig. 11: online learning curves of the OnSlicing agents.
+
+Paper shape: per-slice average resource usage decreases over epochs
+while the SLA violation stays near zero.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig11
+
+
+def test_fig11(benchmark, bench_scale):
+    series = run_once(benchmark, fig11, scale=bench_scale)
+    print("\nFig. 11 (per-slice usage %):")
+    for name in ("MAR", "HVS", "RDC"):
+        curve = series[name]["usage_pct"]
+        viol = series[name]["violation_pct"]
+        print(f"  {name}: start {curve[0]:.1f} end {curve[-1]:.1f} "
+              f"mean violation {np.mean(viol):.2f}%")
+        assert curve[-1] <= curve[0] + 1.0   # usage non-increasing-ish
+        assert np.mean(viol) <= 15.0         # near-zero violations

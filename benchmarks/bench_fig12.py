@@ -1,0 +1,28 @@
+"""Fig. 12: proactive baseline switching showcase.
+
+Paper shape: a cost anomaly in the HVS slice (around slot 12) triggers
+the baseline takeover and resource usage steps up for the rest of the
+episode (paper: ~20 % -> ~35 %).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12(benchmark):
+    series = run_once(benchmark, fig12, spike_slot=12, spike_factor=6.0)
+    switch = series["switch_slots"]["HVS"]
+    print("\nFig. 12: HVS switch slot:", switch,
+          "| spike injected at", series["spike_slot"])
+    usage = np.array(series["usage_pct"])
+    if switch is not None:
+        before = usage[max(switch - 8, 0):switch].mean()
+        after = usage[switch:switch + 8].mean()
+        print("  usage before %.1f%% -> after %.1f%%" % (before, after))
+        assert switch >= series["spike_slot"]
+        assert after >= before  # baseline takeover costs resources
+    else:
+        # the anomaly must at least show up as cost on the HVS slice
+        assert max(series["costs"]["HVS"]) > 0.1

@@ -1,0 +1,19 @@
+"""Fig. 13: average SLA violation of the switching variants.
+
+Paper shape: OnSlicing-NB (no baseline) worst (~2.94 % average),
+OnSlicing-NE in between (~0.33 %), full OnSlicing near zero.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13(benchmark, bench_scale):
+    series = run_once(benchmark, fig13, scale=bench_scale)
+    means = {name: float(np.mean(series[name]))
+             for name in ("OnSlicing-NB", "OnSlicing", "OnSlicing-NE")}
+    print("\nFig. 13 mean violation %:", {k: round(v, 2)
+                                          for k, v in means.items()})
+    assert means["OnSlicing"] <= means["OnSlicing-NB"] + 1e-9

@@ -1,0 +1,18 @@
+"""Fig. 14: resource usage under fixed coordinating parameters.
+
+Paper shape: as beta grows on all resources the modifier yields more,
+so the average resource usage decreases for every slice.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14(benchmark):
+    series = run_once(benchmark, fig14)
+    print("\nFig. 14 usage %% per beta %s:" % (series["betas"],))
+    for name, curve in series["usage_pct"].items():
+        print(f"  {name}: {[round(u, 1) for u in curve]}")
+        assert curve[-1] < curve[0]  # usage decreases with beta

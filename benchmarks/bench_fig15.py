@@ -1,0 +1,28 @@
+"""Fig. 15: learned per-resource allocation signatures.
+
+Paper shape: the MAR slice leans on uplink radio (U_u) and compute
+(U_c), the HVS slice on downlink radio (U_d), and the RDC slice on the
+MCS offsets (U_m/U_s).
+"""
+
+from conftest import run_once
+
+from repro.config import ACTION_NAMES
+from repro.experiments.figures import fig15
+
+
+def test_fig15(benchmark, bench_scale):
+    series = run_once(benchmark, fig15, scale=bench_scale)
+    idx = {name: i for i, name in enumerate(ACTION_NAMES)}
+    alloc = series["allocations_pct"]
+    print("\nFig. 15 mean allocations (%):")
+    for name, values in alloc.items():
+        print(f"  {name}: " + " ".join(
+            f"{ACTION_NAMES[i].split('_')[0][:2]}{v:.0f}"
+            for i, v in enumerate(values)))
+    assert alloc["MAR"][idx["uplink_bandwidth"]] > \
+        alloc["HVS"][idx["uplink_bandwidth"]]
+    assert alloc["HVS"][idx["downlink_bandwidth"]] > \
+        alloc["RDC"][idx["downlink_bandwidth"]]
+    assert alloc["RDC"][idx["uplink_mcs_offset"]] > \
+        alloc["MAR"][idx["uplink_mcs_offset"]]

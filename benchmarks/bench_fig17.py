@@ -1,0 +1,21 @@
+"""Fig. 17: CDF of individual slice performance (p/P) in LTE vs NR.
+
+Paper shape: NR noticeably improves the MAR (latency) and RDC
+(reliability) slices; the HVS slice performs similarly under both
+because the fixed-rate stream does not saturate the downlink.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig17
+
+
+def test_fig17(benchmark):
+    series = run_once(benchmark, fig17, episodes=1)
+    means = {key: float(np.mean(val["x"]))
+             for key, val in series.items()}
+    print("\nFig. 17 mean satisfaction p/P:",
+          {k: round(v, 3) for k, v in means.items()})
+    assert means["NR, MAR"] >= means["LTE, MAR"] - 0.02
+    assert abs(means["NR, HVS"] - means["LTE, HVS"]) < 0.2

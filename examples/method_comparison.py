@@ -1,0 +1,57 @@
+"""Compare all four methods of the paper's Table 1 on one scenario.
+
+Runs the rule-based Baseline, the analytic Model_Based method, the
+learn-from-scratch OnRL agent, and OnSlicing (shortened schedules), and
+prints a Table-1-style summary.  Expected ordering: OnSlicing uses the
+least resource at zero violation; Baseline is safe but expensive;
+Model_Based over-provisions *and* violates; OnRL violates while
+learning.
+
+Run:  python examples/method_comparison.py      (~4-5 minutes)
+"""
+
+from repro.config import ExperimentConfig
+from repro.experiments.harness import (
+    build_onslicing,
+    evaluate_static_policies,
+    fit_baselines,
+    make_model_based_policies,
+    run_online_phase,
+    run_onrl_phase,
+    test_performance,
+)
+
+
+def main() -> None:
+    cfg = ExperimentConfig(seed=7)
+    rows = {}
+
+    print("fitting Baseline (grid search)...")
+    baselines = fit_baselines(cfg)
+    rows["Baseline"] = evaluate_static_policies(cfg, baselines)
+
+    print("solving Model_Based (analytic models + SLSQP)...")
+    rows["Model_Based"] = evaluate_static_policies(
+        cfg, make_model_based_policies(cfg), method="Model_Based")
+
+    print("training OnRL from scratch (shortened schedule)...")
+    rows["OnRL"] = run_onrl_phase(cfg, epochs=8, episodes_per_epoch=2)
+
+    print("training OnSlicing (offline stage + online phase)...")
+    bundle = build_onslicing(cfg)
+    run_online_phase(bundle, epochs=8, episodes_per_epoch=2)
+    rows["OnSlicing"] = test_performance(bundle)
+
+    print(f"\n{'method':<14} {'avg usage %':>12} {'avg violation %':>16}")
+    for name in ("OnSlicing", "OnRL", "Baseline", "Model_Based"):
+        result = rows[name]
+        print(f"{name:<14} {result.avg_resource_usage:>12.2f} "
+              f"{result.avg_sla_violation:>16.2f}")
+    print("\n(Paper Table 1: OnSlicing 20.19/0.00, OnRL 23.08/15.40, "
+          "Baseline 52.18/0.00, Model_Based 59.04/3.13 -- absolute "
+          "values differ on the simulated substrate; the ordering is "
+          "the reproduced claim.)")
+
+
+if __name__ == "__main__":
+    main()

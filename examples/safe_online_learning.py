@@ -1,0 +1,64 @@
+"""The headline OnSlicing workflow: offline imitation -> safe online RL.
+
+Reproduces the paper's main storyline on a shortened schedule:
+
+1. fit the rule-based Baseline per slice (grid search, Sec. 7.1);
+2. offline stage (Sec. 5): behavior-clone pi_theta, fit the Bayesian
+   cost estimator pi_phi, train the action modifier pi_a;
+3. online learning phase (Sec. 3-4): constraint-aware PPO with
+   proactive baseline switching and distributed coordination;
+4. report usage/violation against the Baseline.
+
+Expected output: the agents start at the Baseline's resource usage and
+steadily reduce it with (near-)zero SLA violations throughout.
+
+Run:  python examples/safe_online_learning.py        (~2-3 minutes)
+"""
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.experiments.harness import (
+    build_onslicing,
+    evaluate_static_policies,
+    fit_baselines,
+    run_online_phase,
+    test_performance,
+)
+
+
+def main() -> None:
+    cfg = ExperimentConfig(seed=7)
+    print("== Offline stage (baseline fit + imitation) ==")
+    bundle = build_onslicing(cfg)
+    for name, report in bundle.pretrain_reports.items():
+        print(f"  {name}: BC loss {report.bc_curve[0]:.4f} -> "
+              f"{report.bc_curve[-1]:.4f} over "
+              f"{len(report.bc_curve)} epochs "
+              f"({report.dataset_size} transitions)")
+
+    print("\n== Online learning phase ==")
+    trajectory = run_online_phase(bundle, epochs=10,
+                                  episodes_per_epoch=3)
+    print(f"  {'epoch':>5} {'usage%':>7} {'violation%':>10} "
+          f"{'interactions':>12}")
+    for point in trajectory:
+        print(f"  {point.epoch:>5} {100 * point.mean_usage:>7.2f} "
+              f"{100 * point.violation_rate:>10.2f} "
+              f"{point.mean_interactions:>12.2f}")
+
+    print("\n== Test performance ==")
+    result = test_performance(bundle)
+    baseline = evaluate_static_policies(cfg, fit_baselines(cfg))
+    print(f"  OnSlicing: usage {result.avg_resource_usage:.2f}% "
+          f"violation {result.avg_sla_violation:.2f}%")
+    print(f"  Baseline : usage {baseline.avg_resource_usage:.2f}% "
+          f"violation {baseline.avg_sla_violation:.2f}%")
+    saved = (1.0 - result.avg_resource_usage
+             / baseline.avg_resource_usage) * 100.0
+    print(f"  -> OnSlicing uses {saved:.1f}% less resource at "
+          f"equal (zero) violation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not ``wheel``, which PEP 660
+editable installs require; this file lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path instead.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""OnSlicing (CoNEXT '21) reproduction.
+
+Online end-to-end network slicing with safe reinforcement learning:
+per-slice agents minimise cross-domain resource usage under SLA
+constraints, learning online with near-zero violations via a
+Lagrangian-constrained PPO, proactive baseline switching driven by a
+variational cost-to-go estimator, and distributed action-modifier /
+parameter-coordinator resource coordination.
+
+Most users need three entry points:
+
+>>> from repro.config import ExperimentConfig
+>>> from repro.experiments.harness import (
+...     build_onslicing, run_online_phase, test_performance)
+
+See README.md for the tour and DESIGN.md for the system inventory.
+"""
+
+from repro.config import (
+    ACTION_NAMES,
+    ExperimentConfig,
+    NetworkConfig,
+    SliceSLA,
+    SliceSpec,
+    default_slice_specs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACTION_NAMES",
+    "ExperimentConfig",
+    "NetworkConfig",
+    "SliceSLA",
+    "SliceSpec",
+    "default_slice_specs",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Comparison methods of the paper's evaluation (Sec. 7.1).
+
+* :mod:`repro.baselines.rule_based` -- **Baseline**: per-slice key
+  factors, grid search for minimum usage meeting the requirement, and
+  projection for over-requests.
+* :mod:`repro.baselines.model_based` -- **Model_Based**: approximated
+  analytic performance models solved as a convex program.
+* :mod:`repro.baselines.onrl` -- **OnRL**: learn-from-scratch online
+  DRL with reward shaping and projection (the adapted OnRL of Sec. 7.1).
+* :mod:`repro.baselines.projection` -- the proportional scale-down
+  used by both Baseline and OnRL when resources are over-requested.
+"""
+
+from repro.baselines.projection import project_actions
+from repro.baselines.rule_based import (
+    KEY_FACTORS,
+    RuleBasedPolicy,
+    fit_rule_based_policy,
+)
+from repro.baselines.model_based import ModelBasedPolicy
+from repro.baselines.onrl import OnRLAgent
+
+__all__ = [
+    "KEY_FACTORS",
+    "ModelBasedPolicy",
+    "OnRLAgent",
+    "RuleBasedPolicy",
+    "fit_rule_based_policy",
+    "project_actions",
+]

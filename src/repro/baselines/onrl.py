@@ -1,0 +1,92 @@
+"""OnRL-style online DRL agent (comparison method, paper Sec. 7.1).
+
+OnRL [Zhang et al., MobiCom '20] learns online in the real network from
+scratch.  The paper adapts it to slicing: "We supplement the reward
+sharping method to be aware of constraints and the projection method to
+deal with resource over-requesting situations."  Concretely this agent
+is PPO with
+
+* a **fixed-weight** penalty ``r - w * c`` (reward shaping, not the
+  adaptive Lagrangian of OnSlicing),
+* **no** offline imitation (learns from scratch),
+* **no** proactive baseline switching or cost estimator,
+* **projection** (not action modification) for over-requests -- applied
+  by the caller across agents via
+  :func:`repro.baselines.projection.project_actions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import PPOConfig, PolicyNetConfig
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.ppo import GaussianActorCritic, PPOTrainer
+
+
+@dataclass(frozen=True)
+class OnRLConfig:
+    """Hyper-parameters of the adapted OnRL agent."""
+
+    #: Fixed reward-shaping weight on the cost (no dual update).
+    penalty_weight: float = 2.0
+    ppo: PPOConfig = PPOConfig()
+    policy: PolicyNetConfig = PolicyNetConfig()
+    #: Minimum stored transitions before a PPO update runs.
+    update_threshold: int = 384
+
+
+class OnRLAgent:
+    """Learn-from-scratch PPO agent for one slice."""
+
+    def __init__(self, slice_name: str, state_dim: int, action_dim: int,
+                 cfg: Optional[OnRLConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.slice_name = slice_name
+        self.cfg = cfg or OnRLConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(5)
+        self.model = GaussianActorCritic(
+            state_dim, action_dim, policy_cfg=self.cfg.policy,
+            ppo_cfg=self.cfg.ppo, rng=self._rng)
+        self.trainer = PPOTrainer(self.model, cfg=self.cfg.ppo,
+                                  rng=self._rng)
+        self.buffer = RolloutBuffer(gamma=self.cfg.ppo.gamma,
+                                    gae_lambda=self.cfg.ppo.gae_lambda)
+        self._pending = None
+        self.updates_run = 0
+
+    def act(self, state: np.ndarray,
+            deterministic: bool = False) -> np.ndarray:
+        """Sample the next action and stage it for :meth:`observe`."""
+        decision = self.model.act(state, deterministic=deterministic)
+        self._pending = {"state": np.asarray(state, dtype=float),
+                         **decision}
+        return decision["action"]
+
+    def observe(self, reward: float, cost: float) -> None:
+        """Record the outcome of the last action (reward shaping here)."""
+        if self._pending is None:
+            raise RuntimeError("observe() called before act()")
+        shaped = reward - self.cfg.penalty_weight * cost
+        self.buffer.add(Transition(
+            state=self._pending["state"],
+            action=self._pending["action"],
+            reward=shaped, cost=cost,
+            value=self._pending["value"],
+            log_prob=self._pending["log_prob"]))
+        self._pending = None
+
+    def end_episode(self) -> None:
+        self.buffer.end_episode(bootstrap_value=0.0)
+
+    def maybe_update(self) -> Optional[Dict[str, float]]:
+        """Run a PPO update when enough transitions are stored."""
+        if len(self.buffer) < self.cfg.update_threshold:
+            return None
+        stats = self.trainer.update(self.buffer.get())
+        self.buffer.clear()
+        self.updates_run += 1
+        return stats

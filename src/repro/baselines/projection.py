@@ -1,0 +1,38 @@
+"""Projection: proportional scale-down of over-requested resources.
+
+"The existing method requires domain managers to scale down all actions
+of slices, i.e., projection, if the summation of requested resources
+surpluses the capacity of the infrastructure" (paper Sec. 4).  Both the
+rule-based Baseline and OnRL use this; OnSlicing replaces it with the
+action modifier + parameter coordination and Table 3 quantifies why
+(projection under-provisions slices and violates SLAs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.sim.network import CONSTRAINED_RESOURCES
+
+
+def project_actions(actions: Mapping[str, np.ndarray],
+                    capacity: float = 1.0) -> Dict[str, np.ndarray]:
+    """Scale down each over-requested resource kind proportionally.
+
+    For every constrained kind ``k`` with ``sum_i a_i_k > capacity``,
+    every slice's ``a_i_k`` is multiplied by ``capacity / sum``; other
+    dimensions are untouched.  Returns new arrays (inputs unmodified).
+    """
+    projected = {name: np.asarray(action, dtype=float).copy()
+                 for name, action in actions.items()}
+    if not projected:
+        return projected
+    for kind, idx in CONSTRAINED_RESOURCES.items():
+        total = sum(action[idx] for action in projected.values())
+        if total > capacity and total > 0:
+            scale = capacity / total
+            for action in projected.values():
+                action[idx] *= scale
+    return projected

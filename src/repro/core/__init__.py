@@ -1,0 +1,40 @@
+"""OnSlicing core: the paper's primary contribution.
+
+* :mod:`repro.core.agent` -- the per-slice OnSlicing agent composing
+  the learning policy pi_theta, the Bayesian cost estimator pi_phi, the
+  rule-based baseline pi_b and the action modifier pi_a (paper Fig. 2);
+* :mod:`repro.core.switching` -- proactive baseline switching (Eq. 8);
+* :mod:`repro.core.action_modifier` -- pi_a and its offline training
+  against a learned cost surrogate (Eq. 13);
+* :mod:`repro.core.offline` -- learning-from-baseline: behavior cloning
+  and estimator fitting (Sec. 5);
+* :mod:`repro.core.orchestrator` -- the multi-slice online loop with
+  distributed parameter coordination (Sec. 4).
+"""
+
+from repro.core.action_modifier import ActionModifier, CostSurrogate
+from repro.core.agent import OnSlicingAgent
+from repro.core.offline import OfflineDataset, pretrain_agent
+from repro.core.orchestrator import (
+    CoordinationResult,
+    DomainManagerSet,
+    EpochStats,
+    OnSlicingOrchestrator,
+    coordinate_actions,
+)
+from repro.core.switching import ProactiveBaselineSwitch, SwitchDecision
+
+__all__ = [
+    "ActionModifier",
+    "CoordinationResult",
+    "CostSurrogate",
+    "DomainManagerSet",
+    "EpochStats",
+    "OfflineDataset",
+    "OnSlicingAgent",
+    "OnSlicingOrchestrator",
+    "ProactiveBaselineSwitch",
+    "SwitchDecision",
+    "coordinate_actions",
+    "pretrain_agent",
+]

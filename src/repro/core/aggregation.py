@@ -1,0 +1,117 @@
+"""Policy aggregation and federated averaging (paper Sec. 9 extension).
+
+The paper's discussion names two accelerators it would incorporate:
+"several promising techniques could accelerate the learning progress,
+e.g., policy aggregation [OnRL] and federated learning [Bonawitz et
+al.], which can be further incorporated into OnSlicing."  This module
+implements both for the numpy policy networks:
+
+* :func:`federated_average` -- FedAvg over the actors of agents serving
+  the *same application class* (e.g. the MAR replicas of Fig. 18/19's
+  scaled deployments), weighted by each agent's experience volume;
+* :class:`PolicyAggregator` -- OnRL-style periodic aggregation: pull a
+  weighted average into a global model, push it back blended with each
+  agent's local weights so slice-specific specialisation survives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.network import MLP
+
+
+def federated_average(networks: Sequence[MLP],
+                      weights: Optional[Sequence[float]] = None
+                      ) -> List[np.ndarray]:
+    """Weighted average of identically-shaped networks' parameters.
+
+    Returns the averaged weight list (apply with ``set_weights``).
+    ``weights`` default to uniform; they are normalised internally.
+    """
+    if not networks:
+        raise ValueError("need at least one network")
+    if weights is None:
+        weights = [1.0] * len(networks)
+    if len(weights) != len(networks):
+        raise ValueError("one weight per network required")
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative, sum > 0")
+    weights = weights / weights.sum()
+    reference = networks[0].get_weights()
+    averaged = [np.zeros_like(arr) for arr in reference]
+    for network, weight in zip(networks, weights):
+        for i, arr in enumerate(network.get_weights()):
+            if arr.shape != averaged[i].shape:
+                raise ValueError(
+                    "networks must share an architecture")
+            averaged[i] += weight * arr
+    return averaged
+
+
+class PolicyAggregator:
+    """Periodic OnRL-style aggregation across same-class agents.
+
+    Parameters
+    ----------
+    blend:
+        Fraction of the global average pulled into each local actor
+        (1.0 = full FedAvg replacement, 0.0 = no aggregation).
+    """
+
+    def __init__(self, blend: float = 0.5) -> None:
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must be in [0, 1]")
+        self.blend = blend
+        self.rounds_run = 0
+
+    def aggregate(self, actors: Mapping[str, MLP],
+                  experience: Optional[Mapping[str, float]] = None
+                  ) -> None:
+        """One aggregation round over a group of actors (in place).
+
+        ``experience`` weights each member by its data volume (e.g.
+        transitions collected since the last round); uniform when
+        omitted.
+        """
+        names = list(actors)
+        if len(names) < 2:
+            return
+        weights = None
+        if experience is not None:
+            weights = [float(experience.get(name, 0.0))
+                       for name in names]
+            if sum(weights) <= 0:
+                weights = None
+        averaged = federated_average([actors[n] for n in names],
+                                     weights)
+        for name in names:
+            local = actors[name].get_weights()
+            blended = [
+                (1.0 - self.blend) * loc + self.blend * avg
+                for loc, avg in zip(local, averaged)
+            ]
+            actors[name].set_weights(blended)
+        self.rounds_run += 1
+
+    def aggregate_by_class(self, actors: Mapping[str, MLP],
+                           classes: Mapping[str, str],
+                           experience: Optional[Mapping[str, float]]
+                           = None) -> None:
+        """Aggregate separately within each application class.
+
+        ``classes`` maps agent name -> class label (e.g. "mar"); only
+        agents sharing a label are averaged together, preserving the
+        per-application specialisation of individualized learning.
+        """
+        groups: Dict[str, Dict[str, MLP]] = {}
+        for name, actor in actors.items():
+            label = classes.get(name)
+            if label is None:
+                raise KeyError(f"no class for agent {name!r}")
+            groups.setdefault(label, {})[name] = actor
+        for group in groups.values():
+            self.aggregate(group, experience)

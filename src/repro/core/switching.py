@@ -1,0 +1,103 @@
+"""Proactive baseline switching (paper Sec. 3, Eq. 8).
+
+At every time slot the agent evaluates
+
+    E_t = sum_{m<=t} c_m + mu + eta * sigma
+
+where ``(mu, sigma)`` is pi_phi's posterior over the baseline policy's
+cost-to-go from the current state.  If ``E_t >= T * C_max`` the
+baseline policy takes over *the rest of the episode* -- switching is a
+one-way door within an episode ("let the baseline policy take over the
+rest of the episode"), re-armed at the next reset.
+
+Variants used by the paper's ablation (Table 2 / Fig. 13):
+
+* **OnSlicing-NB** -- ``enabled=False``: never switches.
+* **OnSlicing-NE** -- ``use_estimator=False``: reactive switching only
+  once the cumulative cost alone crosses the threshold.
+* **Est. Noise** -- ``estimator_noise_std=1.0``: Gaussian noise on the
+  estimator output to probe robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SwitchingConfig
+from repro.rl.cost_estimator import CostToGoEstimator
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Outcome of one slot's switching evaluation."""
+
+    use_baseline: bool
+    expected_episode_cost: float     # E_t of Eq. 8
+    threshold: float                 # T * C_max
+    estimator_mean: float
+    estimator_std: float
+    newly_triggered: bool
+
+
+class ProactiveBaselineSwitch:
+    """Per-episode switching state machine for one agent."""
+
+    def __init__(self, cfg: SwitchingConfig, horizon: int,
+                 cost_threshold: float,
+                 estimator: Optional[CostToGoEstimator] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.cfg = cfg
+        self.horizon = horizon
+        self.cost_threshold = cost_threshold
+        self.estimator = estimator
+        self._rng = rng if rng is not None else np.random.default_rng(23)
+        self._active = False
+        self._switch_slot: Optional[int] = None
+        if cfg.enabled and cfg.use_estimator and estimator is None:
+            raise ValueError(
+                "use_estimator=True requires a CostToGoEstimator")
+
+    @property
+    def active(self) -> bool:
+        """True while the baseline controls the rest of the episode."""
+        return self._active
+
+    @property
+    def switch_slot(self) -> Optional[int]:
+        """Slot at which the baseline took over (None if it has not)."""
+        return self._switch_slot
+
+    def reset(self) -> None:
+        """Re-arm at the start of a new episode."""
+        self._active = False
+        self._switch_slot = None
+
+    def evaluate(self, state: np.ndarray, cumulative_cost: float,
+                 slot: int) -> SwitchDecision:
+        """Eq. 8: decide which policy acts at this slot."""
+        threshold = self.horizon * self.cost_threshold
+        if not self.cfg.enabled:
+            return SwitchDecision(False, cumulative_cost, threshold,
+                                  0.0, 0.0, False)
+        if self._active:
+            return SwitchDecision(True, cumulative_cost, threshold,
+                                  0.0, 0.0, False)
+        mu, sigma = 0.0, 0.0
+        if self.cfg.use_estimator:
+            mu, sigma = self.estimator.predict(state)
+            if self.cfg.estimator_noise_std > 0:
+                mu += float(self._rng.normal(
+                    0.0, self.cfg.estimator_noise_std))
+            mu = max(mu, 0.0)
+        expected = cumulative_cost + mu + self.cfg.eta * sigma
+        triggered = expected >= threshold
+        if triggered:
+            self._active = True
+            self._switch_slot = slot
+        return SwitchDecision(triggered, expected, threshold, mu, sigma,
+                              triggered)

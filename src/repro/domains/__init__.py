@@ -1,0 +1,32 @@
+"""Domain managers: RDM, TDM, CDM, EDM (paper Sec. 6).
+
+Each manager virtualises one technical domain's infrastructure, exposes
+a unified REST-style interface toward the OnSlicing agents, enforces
+per-slice isolation, and hosts a :class:`ParameterCoordinator` that
+updates the coordinating parameters ``beta_k`` of the distributed
+coordination mechanism (paper Eq. 14).
+"""
+
+from repro.domains.base import (
+    DomainManager,
+    Request,
+    Response,
+    ResourceConstraintError,
+)
+from repro.domains.coordinator import ParameterCoordinator
+from repro.domains.rdm import RadioDomainManager
+from repro.domains.tdm import TransportDomainManager
+from repro.domains.cdm import CoreDomainManager
+from repro.domains.edm import EdgeDomainManager
+
+__all__ = [
+    "CoreDomainManager",
+    "DomainManager",
+    "EdgeDomainManager",
+    "ParameterCoordinator",
+    "RadioDomainManager",
+    "Request",
+    "Response",
+    "ResourceConstraintError",
+    "TransportDomainManager",
+]

@@ -1,0 +1,34 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+* :mod:`repro.experiments.metrics` -- result containers and metric math;
+* :mod:`repro.experiments.harness` -- method builders/runners (OnSlicing
+  and its ablation variants, OnRL, Baseline, Model_Based);
+* :mod:`repro.experiments.tables` -- Table 1-4 generators;
+* :mod:`repro.experiments.figures` -- Fig. 3, 5, 6, 9-19 generators.
+
+All generators accept a ``scale`` knob: ``scale=1.0`` approximates the
+paper's schedules; the benchmark suite uses smaller scales so the whole
+suite completes offline.  EXPERIMENTS.md records paper-vs-measured for
+each artefact.
+"""
+
+from repro.experiments.metrics import MethodResult, TrajectoryPoint
+from repro.experiments.harness import (
+    OnSlicingBundle,
+    build_onslicing,
+    evaluate_static_policies,
+    run_online_phase,
+    run_onrl_phase,
+    test_performance,
+)
+
+__all__ = [
+    "MethodResult",
+    "OnSlicingBundle",
+    "TrajectoryPoint",
+    "build_onslicing",
+    "evaluate_static_policies",
+    "run_online_phase",
+    "run_onrl_phase",
+    "test_performance",
+]

@@ -1,0 +1,546 @@
+"""Generators for the paper's figures (3, 5, 6, 9-19).
+
+Every function returns plain dict/array series -- the same data the
+paper plots -- so benchmarks can assert on shapes and EXPERIMENTS.md
+can record paper-vs-measured values without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import (
+    ExperimentConfig,
+    MAX_MCS_OFFSET,
+    NetworkConfig,
+    SliceSpec,
+    default_slice_specs,
+    lte_ran_config,
+    nr_ran_config,
+)
+from repro.core.orchestrator import coordinate_actions
+from repro.domains.coordinator import ParameterCoordinator
+from repro.experiments.harness import (
+    OnSlicingBundle,
+    build_onslicing,
+    evaluate_static_policies,
+    fit_baselines,
+    make_model_based_policies,
+    run_online_phase,
+    run_onrl_phase,
+    test_performance,
+)
+from repro.experiments.metrics import cdf, usage_percent
+from repro.rl.behavior_cloning import BehaviorCloningTrainer
+from repro.rl.ppo import GaussianActorCritic
+from repro.sim.channel import ChannelProcess
+from repro.sim.env import ScenarioSimulator
+from repro.sim.network import CONSTRAINED_RESOURCES, EndToEndNetwork
+from repro.sim.phy import PhyModel
+from repro.sim.ran import RadioCell, Scheduler
+
+
+def _schedule(scale: float, full: int) -> int:
+    return max(int(round(full * scale)), 2)
+
+
+# ---------------------------------------------------------------- Fig 3
+
+
+def fig3(scale: float = 0.25,
+         cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Fig. 3(a)/(b): unsafe fixed-penalty DRL vs the baseline.
+
+    Paper shape: the DRL agent exceeds 30 % violation during online
+    learning while the baseline stays at zero, and the DRL agent's
+    usage starts far above the baseline before undercutting it.
+    """
+    cfg = cfg or ExperimentConfig()
+    epochs = _schedule(scale, 30)
+    onrl = run_onrl_phase(cfg, epochs=epochs, episodes_per_epoch=2)
+    baselines = fit_baselines(cfg)
+    base = evaluate_static_policies(cfg, baselines, episodes=2)
+    return {
+        "drl_violation_pct": [100.0 * p.violation_rate
+                              for p in onrl.trajectory],
+        "drl_usage_pct": [usage_percent(p.mean_usage)
+                          for p in onrl.trajectory],
+        "baseline_violation_pct": base.avg_sla_violation,
+        "baseline_usage_pct": base.avg_resource_usage,
+    }
+
+
+# ---------------------------------------------------------------- Fig 5
+
+
+def fig5(cfg: Optional[NetworkConfig] = None,
+         seed: int = 3) -> Dict[str, Dict[str, float]]:
+    """Fig. 5: slice data rates under RDM vs the vanilla system.
+
+    Three slices with equal exclusive shares; the sum of their rates
+    should approach the unsliced (vanilla) cell rate in both
+    directions, demonstrating low-overhead virtualisation.
+    """
+    cfg = cfg or NetworkConfig()
+    rng = np.random.default_rng(seed)
+    cell = RadioCell(cfg.ran)
+    channel = ChannelProcess(cfg.users_per_slice * 3, rng)
+    series: Dict[str, Dict[str, float]] = {}
+    for uplink, key in ((False, "dl_mbps"), (True, "ul_mbps")):
+        vanilla = cell.vanilla_capacity(channel, uplink) / 1e6
+        series.setdefault("Vanilla", {})[key] = vanilla
+        for i in range(3):
+            report = cell.slice_capacity(1.0 / 3.0, 0,
+                                         Scheduler.ROUND_ROBIN,
+                                         channel, uplink)
+            series.setdefault(f"Slice {i + 1}", {})[key] = \
+                report.capacity_bps / 1e6
+    return series
+
+
+# ---------------------------------------------------------------- Fig 6
+
+
+def fig6() -> Dict[str, List[float]]:
+    """Fig. 6: retransmission probability vs MCS offset (UL and DL).
+
+    Paper shape: log-scale decay from ~1e-1 toward ~1e-5 over offsets
+    0..10, steeper in the uplink.
+    """
+    phy = PhyModel()
+    offsets = list(range(MAX_MCS_OFFSET + 1))
+    return {
+        "offset": offsets,
+        "uplink": [phy.retransmission_probability(o, uplink=True)
+                   for o in offsets],
+        "downlink": [phy.retransmission_probability(o, uplink=False)
+                     for o in offsets],
+    }
+
+
+# ---------------------------------------------------------------- Fig 9
+
+
+def fig9(scale: float = 0.25,
+         cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Fig. 9: learning trajectories (usage vs violation) per method.
+
+    Paper shape: OnRL starts top-right (high usage, high violation) and
+    wanders; OnSlicing's trajectory slides left along the near-zero-
+    violation axis; Baseline and Model_Based are fixed points.
+    """
+    cfg = cfg or ExperimentConfig()
+    epochs = _schedule(scale, 30)
+    bundle = build_onslicing(cfg)
+    ons = run_online_phase(bundle, epochs=epochs, episodes_per_epoch=2)
+    onrl = run_onrl_phase(cfg, epochs=epochs, episodes_per_epoch=2)
+    baselines = fit_baselines(cfg)
+    base = evaluate_static_policies(cfg, baselines, episodes=2)
+    model = evaluate_static_policies(
+        cfg, make_model_based_policies(cfg), episodes=2,
+        method="Model_Based")
+    return {
+        "OnSlicing": {
+            "usage_pct": [usage_percent(p.mean_usage) for p in ons],
+            "violation_pct": [100.0 * p.violation_rate for p in ons]},
+        "OnRL": {
+            "usage_pct": [usage_percent(p.mean_usage)
+                          for p in onrl.trajectory],
+            "violation_pct": [100.0 * p.violation_rate
+                              for p in onrl.trajectory]},
+        "Baseline": {"usage_pct": [base.avg_resource_usage],
+                     "violation_pct": [base.avg_sla_violation]},
+        "Model_Based": {"usage_pct": [model.avg_resource_usage],
+                        "violation_pct": [model.avg_sla_violation]},
+    }
+
+
+# --------------------------------------------------------------- Fig 10
+
+
+def fig10(cfg: Optional[ExperimentConfig] = None,
+          bc_epochs: int = 8, offline_episodes: int = 3
+          ) -> Dict[str, object]:
+    """Fig. 10: offline imitation -- usage approaches the baseline's.
+
+    Trains behavior cloning epoch by epoch and evaluates the cloned
+    policy's (deterministic) usage after each epoch, per slice.
+    """
+    cfg = cfg or ExperimentConfig()
+    from repro.core.offline import collect_baseline_rollouts
+
+    simulator = ScenarioSimulator(cfg)
+    baselines = fit_baselines(cfg)
+    datasets = collect_baseline_rollouts(simulator, baselines,
+                                         num_episodes=offline_episodes)
+    curves: Dict[str, object] = {"epochs": list(range(1, bc_epochs + 1))}
+    for spec in cfg.slices:
+        dataset = datasets[spec.name]
+        states = np.stack(dataset.states)
+        actions = np.stack(dataset.expert_actions)
+        model = GaussianActorCritic(
+            states.shape[1], actions.shape[1],
+            rng=np.random.default_rng(11))
+        trainer = BehaviorCloningTrainer(
+            model.actor, rng=np.random.default_rng(12))
+        usage_curve: List[float] = []
+        for _ in range(bc_epochs):
+            trainer.train_epoch(states, actions)
+            cloned = np.clip(model.actor.forward(states), 0.0, 1.0)
+            from repro.config import usage_from_action
+            usage_curve.append(usage_percent(float(np.mean(
+                [usage_from_action(a) for a in cloned]))))
+        curves[spec.name] = {
+            "cloned_usage_pct": usage_curve,
+            "baseline_usage_pct": usage_percent(dataset.mean_usage()),
+        }
+    return curves
+
+
+# --------------------------------------------------------------- Fig 11
+
+
+def fig11(scale: float = 0.25,
+          cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Fig. 11: per-slice online curves -- usage falls, violation ~0."""
+    cfg = cfg or ExperimentConfig()
+    epochs = _schedule(scale, 75)
+    bundle = build_onslicing(cfg)
+    trajectory = run_online_phase(bundle, epochs=epochs,
+                                  episodes_per_epoch=2)
+    out: Dict[str, object] = {"epochs": [p.epoch for p in trajectory]}
+    for spec in cfg.slices:
+        out[spec.name] = {
+            "usage_pct": [usage_percent(
+                p.per_slice_usage.get(spec.name, 0.0))
+                for p in trajectory],
+            "violation_pct": [100.0 * p.per_slice_violation.get(
+                spec.name, 0.0) for p in trajectory],
+        }
+    return out
+
+
+# --------------------------------------------------------------- Fig 12
+
+
+def fig12(cfg: Optional[ExperimentConfig] = None,
+          spike_slot: int = 12, spike_factor: float = 6.0,
+          spike_duration: int = 16) -> Dict[str, object]:
+    """Fig. 12: proactive switching showcase.
+
+    A traffic anomaly is injected into the HVS slice mid-episode; the
+    expected shape is a cost spike followed by a baseline takeover and
+    a resource-usage step up (paper: ~20 % -> ~35 %).
+    """
+    cfg = cfg or ExperimentConfig()
+    bundle = build_onslicing(cfg)
+    simulator = bundle.simulator
+    observations = simulator.reset()
+    # Inject the anomaly: multiply the HVS trace from the spike slot.
+    # A flash-crowd anomaly: demand is pinned at ``spike_factor`` times
+    # the slice's engineered peak -- beyond what even a full downlink
+    # allocation can carry, so costs accrue no matter how the agent
+    # reacts and the proactive switch must step in.
+    trace = simulator._traces["HVS"]
+    end = spike_slot + spike_duration
+    trace[spike_slot:end] = spike_factor
+    for agent in bundle.agents.values():
+        agent.begin_episode()
+    slots: List[int] = []
+    usage_pct: List[float] = []
+    costs: Dict[str, List[float]] = {n: [] for n in bundle.agents}
+    switch_slots: Dict[str, Optional[int]] = {}
+    mod_cfg = cfg.agent.modifier
+    while not simulator.done:
+        proposals, states = {}, {}
+        for name, agent in bundle.agents.items():
+            decision = agent.act(observations[name])
+            proposals[name] = decision.action
+            states[name] = observations[name].vector()
+        coordination = coordinate_actions(
+            states, proposals, bundle.agents,
+            bundle.orchestrator.managers.coordinators,
+            max_rounds=mod_cfg.max_coordination_rounds)
+        results = simulator.step(coordination.actions)
+        slots.append(simulator.slot - 1)
+        usage_pct.append(usage_percent(float(np.mean(
+            [r.usage for r in results.values()]))))
+        for name, result in results.items():
+            bundle.agents[name].observe(result.reward, result.cost,
+                                        result.usage)
+            costs[name].append(result.cost)
+            observations[name] = result.observation
+    for name, agent in bundle.agents.items():
+        agent.end_episode()
+        switch_slots[name] = agent.switch.switch_slot
+    return {"slots": slots, "usage_pct": usage_pct, "costs": costs,
+            "switch_slots": switch_slots, "spike_slot": spike_slot}
+
+
+# --------------------------------------------------------------- Fig 13
+
+
+def fig13(scale: float = 0.25,
+          cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Fig. 13: violation curves of the switching variants.
+
+    Paper shape: OnSlicing-NB worst, OnSlicing-NE intermediate, full
+    OnSlicing near zero throughout.
+    """
+    cfg = cfg or ExperimentConfig()
+    epochs = _schedule(scale, 30)
+    out: Dict[str, object] = {}
+    for variant, label in (("nb", "OnSlicing-NB"),
+                           ("full", "OnSlicing"),
+                           ("ne", "OnSlicing-NE")):
+        bundle = build_onslicing(cfg, variant=variant)
+        trajectory = run_online_phase(bundle, epochs=epochs,
+                                      episodes_per_epoch=2)
+        out[label] = [100.0 * p.violation_rate for p in trajectory]
+    out["epochs"] = list(range(epochs))
+    return out
+
+
+# --------------------------------------------------------------- Fig 14
+
+
+def fig14(cfg: Optional[ExperimentConfig] = None,
+          betas=(0.0, 0.25, 0.5, 0.75)) -> Dict[str, object]:
+    """Fig. 14: usage/violation under fixed coordinating parameters.
+
+    Paper shape: average resource usage decreases as beta grows on all
+    resources -- the modifier yields to the domain managers' pressure.
+    """
+    cfg = cfg or ExperimentConfig()
+    bundle = build_onslicing(cfg)
+    simulator = bundle.simulator
+    out: Dict[str, object] = {"betas": list(betas)}
+    usages: Dict[str, List[float]] = {n: [] for n in bundle.agents}
+    violations: Dict[str, List[float]] = {n: [] for n in bundle.agents}
+    for beta in betas:
+        fixed = {kind: float(beta) for kind in CONSTRAINED_RESOURCES}
+        observations = simulator.reset()
+        totals = {n: {"cost": 0.0, "usage": 0.0} for n in bundle.agents}
+        while not simulator.done:
+            actions = {}
+            for name, agent in bundle.agents.items():
+                proposal = agent.baseline.act(observations[name])
+                actions[name] = agent.modifier.modify(
+                    observations[name].vector(), proposal, fixed)
+            results = simulator.step(actions)
+            for name, result in results.items():
+                totals[name]["cost"] += result.cost
+                totals[name]["usage"] += result.usage
+                observations[name] = result.observation
+        for spec in cfg.slices:
+            horizon = simulator.horizon
+            usages[spec.name].append(usage_percent(
+                totals[spec.name]["usage"] / horizon))
+            violations[spec.name].append(100.0 * float(
+                totals[spec.name]["cost"] / horizon
+                > spec.sla.cost_threshold))
+    out["usage_pct"] = usages
+    out["violation_pct"] = violations
+    return out
+
+
+# --------------------------------------------------------------- Fig 15
+
+
+def fig15(scale: float = 0.25,
+          cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Fig. 15: per-resource average allocations of converged agents.
+
+    Paper shape: MAR leans on U_u and U_c, HVS on U_d, RDC on the MCS
+    offsets U_m/U_s.
+    """
+    from repro.config import ACTION_NAMES
+
+    cfg = cfg or ExperimentConfig()
+    epochs = _schedule(scale, 30)
+    bundle = build_onslicing(cfg)
+    run_online_phase(bundle, epochs=epochs, episodes_per_epoch=2)
+    simulator = bundle.simulator
+    observations = simulator.reset()
+    sums = {n: np.zeros(len(ACTION_NAMES)) for n in bundle.agents}
+    count = 0
+    while not simulator.done:
+        actions = {}
+        for name, agent in bundle.agents.items():
+            actions[name] = agent.model.mean_action(
+                observations[name].vector())
+            sums[name] += actions[name]
+        results = simulator.step(actions)
+        for name, result in results.items():
+            observations[name] = result.observation
+        count += 1
+    return {
+        "resources": list(ACTION_NAMES),
+        "allocations_pct": {
+            name: list(100.0 * total / count)
+            for name, total in sums.items()},
+    }
+
+
+# ---------------------------------------------------------- Fig 16 / 17
+
+
+def fig16(samples: int = 200) -> Dict[str, object]:
+    """Fig. 16: ping-delay CDF, LTE vs NR.
+
+    Paper shape: NR (~12 ms average) well left of LTE (~28 ms).
+    """
+    out: Dict[str, object] = {}
+    for label, ran in (("LTE", lte_ran_config()),
+                       ("NR", nr_ran_config())):
+        network = EndToEndNetwork(NetworkConfig(ran=ran),
+                                  slices=default_slice_specs(),
+                                  rng=np.random.default_rng(5))
+        pings = [network.ping_delay_ms("MAR") for _ in range(samples)]
+        out[label] = cdf(pings)
+        out[f"{label}_mean_ms"] = float(np.mean(pings))
+    return out
+
+
+def fig17(episodes: int = 1) -> Dict[str, object]:
+    """Fig. 17: CDF of slice performance p/P, LTE vs NR.
+
+    Paper shape: NR noticeably better for MAR and RDC; HVS similar
+    under both (the fixed-rate stream does not saturate the downlink).
+    """
+    out: Dict[str, object] = {}
+    for label, ran in (("LTE", lte_ran_config()),
+                       ("NR", nr_ran_config())):
+        cfg = ExperimentConfig(network=NetworkConfig(ran=ran))
+        simulator = ScenarioSimulator(cfg)
+        baselines = fit_baselines(cfg)
+        ratios: Dict[str, List[float]] = {
+            n: [] for n in simulator.slice_names}
+        for _ in range(episodes):
+            observations = simulator.reset()
+            while not simulator.done:
+                actions = {n: baselines[n].act(observations[n])
+                           for n in simulator.slice_names}
+                results = simulator.step(actions)
+                for name, result in results.items():
+                    ratios[name].append(
+                        result.report.performance.satisfaction)
+                    observations[name] = result.observation
+        for name, values in ratios.items():
+            out[f"{label}, {name}"] = cdf(values)
+    return out
+
+
+# ---------------------------------------------------------- Fig 18 / 19
+
+
+def fig18(scale: float = 0.25,
+          user_counts=(1, 10, 20, 30)) -> Dict[str, object]:
+    """Fig. 18: MAR user scale-up (nFAPI-style emulation).
+
+    The trained agent is *not* retrained per load level (paper: "the
+    slice agent does not need to be retrained when dealing with
+    varying slice traffic"); usage grows with users and violations stay
+    low until the system is overwhelmed.
+    """
+    cfg = ExperimentConfig()
+    epochs = _schedule(scale, 20)
+    bundle = build_onslicing(cfg)
+    run_online_phase(bundle, epochs=epochs, episodes_per_epoch=2)
+    out: Dict[str, object] = {"users": list(user_counts),
+                              "usage_pct": [], "violation_pct": []}
+    simulator = bundle.simulator
+    mar_spec = simulator.network.slices["MAR"]
+    for users in user_counts:
+        # 20 emulated users generate the nominal testbed peak load;
+        # the 30-user end of the sweep pushes ~1.5x past it, which is
+        # where the paper's curve shows the system being overwhelmed.
+        # The load enters through the traffic *trace* so the agent
+        # observes the higher demand (its traffic feature genuinely
+        # grows) rather than having it normalised away.
+        factor = users / 20.0
+        observations = simulator.reset()
+        simulator._traces["MAR"] = simulator._traces["MAR"] * factor
+        total_cost, total_usage = 0.0, 0.0
+        while not simulator.done:
+            actions = {}
+            for name, agent in bundle.agents.items():
+                actions[name] = agent.model.mean_action(
+                    observations[name].vector())
+            results = simulator.step(actions)
+            total_cost += results["MAR"].cost
+            total_usage += results["MAR"].usage
+            for name, result in results.items():
+                observations[name] = result.observation
+        horizon = simulator.horizon
+        out["usage_pct"].append(usage_percent(total_usage / horizon))
+        out["violation_pct"].append(
+            100.0 * float(total_cost / horizon
+                          > mar_spec.sla.cost_threshold))
+    return out
+
+
+class _ModifierProxy:
+    """Minimal agent-like wrapper exposing a shared modifier."""
+
+    def __init__(self, modifier) -> None:
+        self.modifier = modifier
+
+
+def fig19(slice_counts=(9, 15, 21, 27),
+          episodes: int = 1) -> Dict[str, object]:
+    """Fig. 19: coordination interactions vs number of slices.
+
+    Paper shape: the number of agent<->manager interactions stays low
+    (~2-3) as the slice count grows from 9 to 27 -- the warm-started
+    betas keep coordination cheap at scale.
+    """
+    template_cfg = ExperimentConfig()
+    template = build_onslicing(template_cfg)
+    modifiers = {spec.app: template.agents[spec.name].modifier
+                 for spec in template_cfg.slices}
+    baselines = {spec.app: template.baselines[spec.name]
+                 for spec in template_cfg.slices}
+    out: Dict[str, object] = {"slices": list(slice_counts),
+                              "interactions": []}
+    base_specs = default_slice_specs()
+    for count in slice_counts:
+        replicas: List[SliceSpec] = []
+        per_type = count // len(base_specs)
+        for spec in base_specs:
+            for i in range(per_type):
+                replicas.append(dataclasses.replace(
+                    spec, name=f"{spec.name}-{i}",
+                    max_arrival_rate=spec.max_arrival_rate
+                    * len(base_specs) / count))
+        cfg = template_cfg.replace(slices=tuple(replicas))
+        simulator = ScenarioSimulator(cfg)
+        coordinators = [
+            ParameterCoordinator(("uplink_prb", "downlink_prb")),
+            ParameterCoordinator(("transport_bandwidth",)),
+            ParameterCoordinator(("cpu", "ram")),
+        ]
+        agents = {spec.name: _ModifierProxy(modifiers[spec.app])
+                  for spec in replicas}
+        rounds: List[int] = []
+        for _ in range(episodes):
+            observations = simulator.reset()
+            while not simulator.done:
+                proposals = {
+                    spec.name: baselines[spec.app].act(
+                        observations[spec.name])
+                    for spec in replicas
+                }
+                states = {name: observations[name].vector()
+                          for name in proposals}
+                coordination = coordinate_actions(
+                    states, proposals, agents, coordinators)
+                rounds.append(coordination.rounds)
+                results = simulator.step(coordination.actions)
+                for name, result in results.items():
+                    observations[name] = result.observation
+        out["interactions"].append(float(np.mean(rounds)))
+    return out

@@ -1,0 +1,331 @@
+"""Method builders and phase runners for the evaluation.
+
+The harness assembles each comparison method exactly as Sec. 7.1
+describes and exposes three phases:
+
+* ``build_onslicing``   -- offline stage (baseline fit, rollouts, BC,
+  pi_phi, surrogate, pi_a), returning a ready orchestrator bundle;
+* ``run_online_phase``  -- the online learning phase, recording the
+  per-epoch trajectory;
+* ``test_performance``  -- deterministic post-convergence evaluation
+  (Table 1's "test performances").
+
+Baseline policies are cached per (slice, network) so the grid search
+runs once per process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.model_based import ModelBasedPolicy
+from repro.baselines.onrl import OnRLAgent, OnRLConfig
+from repro.baselines.projection import project_actions
+from repro.baselines.rule_based import (
+    RuleBasedPolicy,
+    fit_rule_based_policy,
+)
+from repro.config import ExperimentConfig, SwitchingConfig
+from repro.core.agent import OnSlicingAgent
+from repro.core.offline import (
+    OfflineDataset,
+    collect_baseline_rollouts,
+    pretrain_agent,
+)
+from repro.core.orchestrator import DomainManagerSet, OnSlicingOrchestrator
+from repro.experiments.metrics import (
+    MethodResult,
+    TrajectoryPoint,
+    online_phase_summary,
+    usage_percent,
+    violation_percent,
+)
+from repro.sim.env import STATE_DIM, ScenarioSimulator
+from repro.sim.network import EndToEndNetwork
+
+_BASELINE_CACHE: Dict[str, RuleBasedPolicy] = {}
+
+
+def fit_baselines(cfg: ExperimentConfig,
+                  use_cache: bool = True) -> Dict[str, RuleBasedPolicy]:
+    """Grid-search the rule-based baseline for every slice (cached)."""
+    policies = {}
+    for spec in cfg.slices:
+        key = f"{spec.name}|{spec.app}|{cfg.network}"
+        if use_cache and key in _BASELINE_CACHE:
+            policies[spec.name] = _BASELINE_CACHE[key]
+            continue
+        policy = fit_rule_based_policy(spec, cfg.network)
+        _BASELINE_CACHE[key] = policy
+        policies[spec.name] = policy
+    return policies
+
+
+@dataclass
+class OnSlicingBundle:
+    """Everything needed to run/evaluate OnSlicing on one scenario."""
+
+    cfg: ExperimentConfig
+    simulator: ScenarioSimulator
+    baselines: Dict[str, RuleBasedPolicy]
+    agents: Dict[str, OnSlicingAgent]
+    orchestrator: OnSlicingOrchestrator
+    datasets: Dict[str, OfflineDataset]
+    pretrain_reports: Dict[str, object]
+
+
+def build_onslicing(cfg: Optional[ExperimentConfig] = None,
+                    variant: str = "full",
+                    offline_episodes: int = 4,
+                    exploration_episodes: int = 6,
+                    seed: int = 42) -> OnSlicingBundle:
+    """Run the offline stage and assemble an OnSlicing deployment.
+
+    ``variant`` selects the ablations of Tables 2/3:
+
+    * ``full``        -- the complete system;
+    * ``nb``          -- OnSlicing-NB: no baseline switching;
+    * ``ne``          -- OnSlicing-NE: reactive switch (no estimator);
+    * ``est_noise``   -- Gaussian noise (std 1.0) on pi_phi's output;
+    * ``projection``  -- projection instead of the action modifier;
+    * ``md_noise``    -- Gaussian noise (std 1.0) on pi_a's output.
+    """
+    cfg = cfg or ExperimentConfig()
+    agent_cfg = cfg.agent
+    if variant == "nb":
+        agent_cfg = dataclasses.replace(
+            agent_cfg, switching=SwitchingConfig(enabled=False))
+    elif variant == "ne":
+        agent_cfg = dataclasses.replace(
+            agent_cfg, switching=SwitchingConfig(use_estimator=False))
+    elif variant == "est_noise":
+        agent_cfg = dataclasses.replace(
+            agent_cfg,
+            switching=SwitchingConfig(estimator_noise_std=1.0))
+    elif variant == "projection":
+        agent_cfg = dataclasses.replace(
+            agent_cfg, modifier=dataclasses.replace(
+                agent_cfg.modifier, use_projection=True))
+    elif variant == "md_noise":
+        agent_cfg = dataclasses.replace(
+            agent_cfg, modifier=dataclasses.replace(
+                agent_cfg.modifier, modifier_noise_std=1.0))
+    elif variant != "full":
+        raise ValueError(f"unknown OnSlicing variant {variant!r}")
+    cfg = cfg.replace(agent=agent_cfg)
+
+    simulator = ScenarioSimulator(cfg)
+    baselines = fit_baselines(cfg)
+    rng = np.random.default_rng(seed)
+    datasets = collect_baseline_rollouts(
+        simulator, baselines, num_episodes=offline_episodes)
+    exploration = collect_baseline_rollouts(
+        simulator, baselines, num_episodes=exploration_episodes,
+        exploration_std=0.12, rng=rng)
+    agents: Dict[str, OnSlicingAgent] = {}
+    reports: Dict[str, object] = {}
+    for spec in cfg.slices:
+        # str hash() is process-salted (PYTHONHASHSEED); use a stable
+        # per-slice offset so runs are reproducible across processes.
+        name_offset = sum(ord(ch) for ch in spec.name) % 1000
+        agent = OnSlicingAgent(
+            spec.name, baselines[spec.name], simulator.horizon,
+            spec.sla.cost_threshold, cfg=cfg.agent,
+            rng=np.random.default_rng(seed + name_offset))
+        reports[spec.name] = pretrain_agent(
+            agent, datasets[spec.name],
+            exploration_dataset=exploration[spec.name])
+        agents[spec.name] = agent
+    orchestrator = OnSlicingOrchestrator(simulator, agents, cfg=cfg)
+    return OnSlicingBundle(cfg=cfg, simulator=simulator,
+                           baselines=baselines, agents=agents,
+                           orchestrator=orchestrator,
+                           datasets=datasets, pretrain_reports=reports)
+
+
+def run_online_phase(bundle: OnSlicingBundle, epochs: int = 12,
+                     episodes_per_epoch: int = 3,
+                     estimator_refresh_every: int = 4
+                     ) -> List[TrajectoryPoint]:
+    """Run the online learning phase, returning the epoch trajectory."""
+    trajectory: List[TrajectoryPoint] = []
+    for epoch in range(epochs):
+        stats = bundle.orchestrator.run_epoch(
+            episodes=episodes_per_epoch)
+        if estimator_refresh_every and \
+                epoch % estimator_refresh_every == estimator_refresh_every - 1:
+            bundle.orchestrator.refresh_estimators()
+        trajectory.append(TrajectoryPoint(
+            epoch=epoch, mean_usage=stats.mean_usage,
+            mean_cost=stats.mean_cost,
+            violation_rate=stats.violation_rate,
+            mean_interactions=stats.mean_interactions,
+            switch_rate=stats.switch_rate,
+            per_slice_usage=stats.per_slice_usage,
+            per_slice_violation=stats.per_slice_violation))
+    return trajectory
+
+
+def test_performance(bundle: OnSlicingBundle, episodes: int = 3
+                     ) -> MethodResult:
+    """Deterministic post-training evaluation (Table 1 protocol)."""
+    stats = bundle.orchestrator.run_epoch(
+        episodes=episodes, deterministic=True, learn=False)
+    return MethodResult(
+        method="OnSlicing",
+        avg_resource_usage=usage_percent(stats.mean_usage),
+        avg_sla_violation=violation_percent(stats.violation_rate),
+        mean_interactions=stats.mean_interactions,
+        per_slice_usage=stats.per_slice_usage,
+        per_slice_violation=stats.per_slice_violation)
+
+
+# ---- static policies (Baseline / Model_Based) -------------------------
+
+
+def evaluate_static_policies(cfg: ExperimentConfig,
+                             policies: Dict[str, object],
+                             episodes: int = 3,
+                             method: str = "Baseline") -> MethodResult:
+    """Run observation->action policies with projection for capacity.
+
+    Used for both the rule-based Baseline and Model_Based -- the two
+    non-learning comparison methods, which resolve over-requests with
+    the projection method (paper Sec. 7.1).
+    """
+    simulator = ScenarioSimulator(cfg)
+    usages: List[float] = []
+    violations: List[float] = []
+    per_slice_u: Dict[str, List[float]] = {
+        n: [] for n in simulator.slice_names}
+    per_slice_v: Dict[str, List[float]] = {
+        n: [] for n in simulator.slice_names}
+    for _ in range(episodes):
+        observations = simulator.reset()
+        totals = {n: {"cost": 0.0, "usage": 0.0}
+                  for n in simulator.slice_names}
+        while not simulator.done:
+            proposals = {
+                name: np.asarray(policies[name].act(observations[name]),
+                                 dtype=float)
+                for name in simulator.slice_names
+            }
+            actions = project_actions(proposals)
+            results = simulator.step(actions)
+            for name, result in results.items():
+                totals[name]["cost"] += result.cost
+                totals[name]["usage"] += result.usage
+                observations[name] = result.observation
+        horizon = simulator.horizon
+        for spec in cfg.slices:
+            mean_cost = totals[spec.name]["cost"] / horizon
+            mean_usage = totals[spec.name]["usage"] / horizon
+            per_slice_u[spec.name].append(mean_usage)
+            per_slice_v[spec.name].append(
+                float(mean_cost > spec.sla.cost_threshold))
+    per_usage = {n: float(np.mean(v)) for n, v in per_slice_u.items()}
+    per_viol = {n: float(np.mean(v)) for n, v in per_slice_v.items()}
+    return MethodResult(
+        method=method,
+        avg_resource_usage=usage_percent(
+            float(np.mean(list(per_usage.values())))),
+        avg_sla_violation=violation_percent(
+            float(np.mean(list(per_viol.values())))),
+        per_slice_usage=per_usage,
+        per_slice_violation=per_viol)
+
+
+def make_model_based_policies(cfg: ExperimentConfig
+                              ) -> Dict[str, ModelBasedPolicy]:
+    return {spec.name: ModelBasedPolicy(spec, cfg.network)
+            for spec in cfg.slices}
+
+
+# ---- OnRL ------------------------------------------------------------
+
+
+def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
+                   epochs: int = 12, episodes_per_epoch: int = 3,
+                   seed: int = 17,
+                   onrl_cfg: Optional[OnRLConfig] = None
+                   ) -> MethodResult:
+    """Train OnRL from scratch and return trajectory + test metrics.
+
+    OnRL agents act independently and over-requests are resolved with
+    projection -- no modifier, no switching, fixed penalty weight.
+    """
+    cfg = cfg or ExperimentConfig()
+    simulator = ScenarioSimulator(cfg)
+    agents = {
+        spec.name: OnRLAgent(
+            spec.name, STATE_DIM, 10, cfg=onrl_cfg,
+            rng=np.random.default_rng(seed + i))
+        for i, spec in enumerate(cfg.slices)
+    }
+    trajectory: List[TrajectoryPoint] = []
+    for epoch in range(epochs):
+        usages, violations = [], []
+        for _ in range(episodes_per_epoch):
+            observations = simulator.reset()
+            totals = {n: {"cost": 0.0, "usage": 0.0} for n in agents}
+            while not simulator.done:
+                proposals = {
+                    name: agent.act(observations[name].vector())
+                    for name, agent in agents.items()
+                }
+                actions = project_actions(proposals)
+                results = simulator.step(actions)
+                for name, result in results.items():
+                    agents[name].observe(result.reward, result.cost)
+                    totals[name]["cost"] += result.cost
+                    totals[name]["usage"] += result.usage
+                    observations[name] = result.observation
+                for agent in agents.values():
+                    agent.maybe_update()
+            for agent in agents.values():
+                agent.end_episode()
+            horizon = simulator.horizon
+            for spec in cfg.slices:
+                usages.append(totals[spec.name]["usage"] / horizon)
+                violations.append(float(
+                    totals[spec.name]["cost"] / horizon
+                    > spec.sla.cost_threshold))
+        trajectory.append(TrajectoryPoint(
+            epoch=epoch, mean_usage=float(np.mean(usages)),
+            mean_cost=0.0,
+            violation_rate=float(np.mean(violations))))
+    # deterministic test episodes
+    test_usages, test_violations = [], []
+    for _ in range(3):
+        observations = simulator.reset()
+        totals = {n: {"cost": 0.0, "usage": 0.0} for n in agents}
+        while not simulator.done:
+            proposals = {
+                name: agent.act(observations[name].vector(),
+                                deterministic=True)
+                for name, agent in agents.items()
+            }
+            for agent in agents.values():
+                agent._pending = None  # test only, no learning
+            actions = project_actions(proposals)
+            results = simulator.step(actions)
+            for name, result in results.items():
+                totals[name]["cost"] += result.cost
+                totals[name]["usage"] += result.usage
+                observations[name] = result.observation
+        horizon = simulator.horizon
+        for spec in cfg.slices:
+            test_usages.append(totals[spec.name]["usage"] / horizon)
+            test_violations.append(float(
+                totals[spec.name]["cost"] / horizon
+                > spec.sla.cost_threshold))
+    return MethodResult(
+        method="OnRL",
+        avg_resource_usage=usage_percent(float(np.mean(test_usages))),
+        avg_sla_violation=violation_percent(
+            float(np.mean(test_violations))),
+        trajectory=trajectory)

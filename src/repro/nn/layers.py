@@ -1,0 +1,191 @@
+"""Dense layers and activations with hand-written backpropagation.
+
+Each module implements ``forward(x)`` and ``backward(grad_out)``.
+``backward`` consumes the gradient of the loss with respect to the
+module output and returns the gradient with respect to the module
+input, accumulating parameter gradients into :class:`Parameter.grad`
+along the way.  Gradients accumulate until :meth:`zero_grad` -- the same
+contract as PyTorch, which keeps the training loops familiar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.initializers import he_uniform, xavier_uniform
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class: parameter bookkeeping shared by all layers."""
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Dense(Module):
+    """Affine layer ``y = x @ W + b`` with cached-input backprop."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 init: str = "he", name: str = "dense") -> None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if init == "he":
+            weight = he_uniform(rng, in_features, out_features)
+        elif init == "xavier":
+            weight = xavier_uniform(rng, in_features, out_features)
+        elif init == "zeros":
+            weight = np.zeros((in_features, out_features))
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter(weight, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self.in_features = in_features
+        self.out_features = out_features
+        self._input: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input dim {self.in_features}, got {x.shape[1]}")
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_out = np.atleast_2d(grad_out)
+        self.weight.grad += self._input.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class _Activation(Module):
+    """Base for parameter-free elementwise activations."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[np.ndarray] = None
+
+
+class ReLU(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._cache = x > 0
+        return np.where(self._cache, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._cache
+
+
+class Sigmoid(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty_like(x)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        sig = self._cache
+        return grad_out * sig * (1.0 - sig)
+
+
+class Tanh(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=np.float64))
+        self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._cache ** 2)
+
+
+class Softplus(_Activation):
+    """Numerically stable ``log(1 + exp(x))``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._cache = x
+        return np.logaddexp(0.0, x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        sig = 1.0 / (1.0 + np.exp(-np.clip(self._cache, -500, 500)))
+        return grad_out * sig
+
+
+class Identity(_Activation):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softplus": Softplus,
+    "identity": Identity,
+    "linear": Identity,
+    "none": Identity,
+}
+
+
+def make_activation(name: str) -> Module:
+    """Instantiate an activation module by name."""
+    try:
+        return _ACTIVATIONS[name.lower()]()
+    except KeyError as exc:
+        raise ValueError(f"unknown activation {name!r}") from exc

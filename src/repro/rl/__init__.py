@@ -1,0 +1,23 @@
+"""Reinforcement-learning substrate: PPO, constrained updates, imitation.
+
+Implements the learning machinery of the paper's Sec. 3 and Sec. 5:
+clipped-surrogate PPO with GAE, the Lagrangian primal-dual multiplier of
+Eq. 5, truncated-episode handling for the proactive baseline switch,
+behavior cloning (Eq. 15), and the variational cost-to-go estimator.
+"""
+
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.rl.ppo import GaussianActorCritic, PPOTrainer
+from repro.rl.lagrangian import LagrangianMultiplier
+from repro.rl.behavior_cloning import BehaviorCloningTrainer
+from repro.rl.cost_estimator import CostToGoEstimator
+
+__all__ = [
+    "BehaviorCloningTrainer",
+    "CostToGoEstimator",
+    "GaussianActorCritic",
+    "LagrangianMultiplier",
+    "PPOTrainer",
+    "RolloutBuffer",
+    "Transition",
+]

@@ -1,0 +1,65 @@
+"""Lagrangian primal-dual multiplier for the SLA constraint.
+
+Paper Eq. 3-5: the constrained problem ``max E[sum r]`` s.t.
+``E[(1/T) sum c] <= C_max`` becomes the Lagrangian
+``L = E[sum (r - (lambda/T) c)] + lambda C_max``; the dual variable
+follows projected sub-gradient ascent
+
+    lambda <- [lambda + eps * (E[(1/T) sum c] - C_max)]^+
+
+so the penalty grows while the slice SLA is being violated and decays
+back toward zero once it is satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import LagrangianConfig
+
+
+class LagrangianMultiplier:
+    """Tracks lambda and produces penalised rewards."""
+
+    def __init__(self, cost_threshold: float,
+                 cfg: Optional[LagrangianConfig] = None) -> None:
+        if cost_threshold < 0:
+            raise ValueError("cost_threshold must be non-negative")
+        self.cfg = cfg or LagrangianConfig()
+        self.cost_threshold = cost_threshold
+        self.value = float(self.cfg.initial_multiplier)
+        self._history = [self.value]
+
+    def penalized_reward(self, reward: float, cost: float) -> float:
+        """Per-slot penalised reward of Eq. 3.
+
+        Eq. 3 subtracts ``(lambda/T) c_t`` inside a sum over T slots; in
+        per-slot form the constraint-scale cancels to ``r_t - lambda *
+        c_t`` (the constraint of Eq. 2 is on the *mean* cost), which is
+        what we apply to every transition handed to the rollout buffer.
+        """
+        return reward - self.value * cost
+
+    def update(self, mean_episode_cost: float) -> float:
+        """Dual ascent step from the observed mean per-slot cost.
+
+        Parameters
+        ----------
+        mean_episode_cost:
+            The empirical ``(1/T) sum_t c_t`` of recent episodes.
+
+        Returns the new multiplier value.
+        """
+        residual = mean_episode_cost - self.cost_threshold
+        step = self.cfg.step_size
+        if residual < 0:
+            step *= self.cfg.decay_fraction
+        self.value = min(
+            max(self.value + step * residual, self.cfg.min_multiplier),
+            self.cfg.max_multiplier)
+        self._history.append(self.value)
+        return self.value
+
+    @property
+    def history(self):
+        return tuple(self._history)

@@ -1,0 +1,88 @@
+"""Per-user radio channel processes.
+
+The testbed keeps phones and antennas stationary inside a Faraday cage,
+yet the paper reports "moderate variations of radio channel conditions
+of slice users" (Sec. 9).  We model each user's wideband SNR as a
+first-order Gauss-Markov (AR(1)) process around a per-user mean drawn
+from a log-distance shadowing distribution, quantised to CQI with the
+standard reporting thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.phy import NUM_CQI, snr_to_cqi
+
+
+@dataclass
+class UserChannel:
+    """State of one user's channel."""
+
+    mean_snr_db: float
+    snr_db: float
+    cqi: int
+
+
+class ChannelProcess:
+    """AR(1) SNR evolution for a population of users.
+
+    Parameters
+    ----------
+    num_users:
+        Population size (one entry per UE).
+    mean_snr_db / snr_spread_db:
+        Mean and shadowing spread of the per-user average SNR.
+    correlation:
+        AR(1) coefficient per slot; 0.9 gives slowly-varying channels at
+        the 15-minute configuration interval.
+    innovation_std_db:
+        Standard deviation of the AR(1) innovation.
+    """
+
+    def __init__(self, num_users: int, rng: np.random.Generator,
+                 mean_snr_db: float = 18.0, snr_spread_db: float = 4.0,
+                 correlation: float = 0.9,
+                 innovation_std_db: float = 1.5) -> None:
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        if not 0.0 <= correlation < 1.0:
+            raise ValueError("correlation must be in [0, 1)")
+        self._rng = rng
+        self.correlation = correlation
+        self.innovation_std_db = innovation_std_db
+        self.users: List[UserChannel] = []
+        for _ in range(num_users):
+            mean = float(rng.normal(mean_snr_db, snr_spread_db))
+            snr = float(rng.normal(mean, innovation_std_db))
+            self.users.append(UserChannel(
+                mean_snr_db=mean, snr_db=snr, cqi=snr_to_cqi(snr)))
+
+    def step(self) -> None:
+        """Advance every user's channel by one configuration slot."""
+        rho = self.correlation
+        sigma = self.innovation_std_db * np.sqrt(1.0 - rho ** 2)
+        for user in self.users:
+            user.snr_db = (user.mean_snr_db
+                           + rho * (user.snr_db - user.mean_snr_db)
+                           + float(self._rng.normal(0.0, sigma)))
+            user.cqi = snr_to_cqi(user.snr_db)
+
+    @property
+    def cqis(self) -> np.ndarray:
+        return np.array([user.cqi for user in self.users], dtype=int)
+
+    @property
+    def snrs_db(self) -> np.ndarray:
+        return np.array([user.snr_db for user in self.users])
+
+    def average_cqi(self) -> float:
+        """Mean reported CQI -- the ``h_{t-1}`` state feature."""
+        return float(self.cqis.mean())
+
+    def normalized_quality(self) -> float:
+        """Average CQI scaled to [0, 1] for state vectors."""
+        return self.average_cqi() / NUM_CQI

@@ -1,0 +1,259 @@
+"""RL environments over the end-to-end network.
+
+Implements the paper's MDP (Sec. 3):
+
+* **State** -- current slot ``t``, last traffic ``f_{t-1}``, average
+  channel ``h_{t-1}``, radio usage ``g_{t-1}``, VNF/edge workload
+  ``w_{t-1}``, last reward and cost ``r_{t-1}, c_{t-1}``, the SLA
+  threshold ``C_max`` and the cumulative episode cost.
+* **Action** -- the ten resource dimensions in [0, 1].
+* **Reward** -- negative total virtual-resource usage (Eq. 9).
+* **Cost** -- SLA degradation ``1 - clip(p/P, 0, 1)`` (Eq. 10).
+
+:class:`ScenarioSimulator` steps *all* slices jointly (the orchestrator
+uses this); :class:`SliceEnv` is a single-slice view that drives the
+other slices with background policies, used for individual agent
+training and unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.config import ExperimentConfig, NUM_ACTIONS
+from repro.sim.network import EndToEndNetwork, SlotReport
+from repro.sim.traffic import PoissonArrivals, TelecomItaliaSynthesizer
+
+#: Number of features in the observation vector.
+STATE_DIM = 9
+
+#: Measurement window (seconds) over which slot arrivals are realised.
+ARRIVAL_WINDOW_S = 60.0
+
+
+@dataclass(frozen=True)
+class SliceObservation:
+    """The paper's state space for one slice, normalised to ~[0, 1]."""
+
+    slot_fraction: float          # t / T
+    traffic: float                # f_{t-1} / max arrival rate
+    channel_quality: float        # h_{t-1}, mean CQI / 15
+    radio_usage: float            # g_{t-1}
+    workload: float               # w_{t-1}
+    last_usage: float             # -r_{t-1} (usage form of the reward)
+    last_cost: float              # c_{t-1}
+    cost_threshold: float         # C_max
+    cumulative_cost: float        # sum_m c_m / (T * C_max)
+
+    def vector(self) -> np.ndarray:
+        return np.array([
+            self.slot_fraction, self.traffic, self.channel_quality,
+            self.radio_usage, self.workload, self.last_usage,
+            self.last_cost, self.cost_threshold, self.cumulative_cost,
+        ])
+
+
+@dataclass(frozen=True)
+class SliceStepResult:
+    """Outcome of one slot for one slice."""
+
+    observation: SliceObservation
+    reward: float                 # -usage, paper Eq. 9
+    cost: float                   # paper Eq. 10
+    usage: float
+    report: SlotReport
+
+
+class ScenarioSimulator:
+    """Joint multi-slice episode driver over :class:`EndToEndNetwork`."""
+
+    def __init__(self, cfg: Optional[ExperimentConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.cfg = cfg or ExperimentConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(
+            self.cfg.seed)
+        self.network = EndToEndNetwork(
+            self.cfg.network, slices=self.cfg.slices, rng=self._rng)
+        self._synth = TelecomItaliaSynthesizer(self.cfg.traffic,
+                                               rng=self._rng)
+        self._arrivals = PoissonArrivals(rng=self._rng)
+        self.horizon = self.cfg.traffic.slots_per_episode
+        self._traces: Dict[str, np.ndarray] = {}
+        self._slot = 0
+        self._day = 0
+        self._cum_cost: Dict[str, float] = {}
+        self._last: Dict[str, SliceObservation] = {}
+        self._last_rates: Dict[str, float] = {}
+
+    @property
+    def slice_names(self) -> List[str]:
+        return self.network.slice_names
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def reset(self) -> Dict[str, SliceObservation]:
+        """Start a new 24 h episode with fresh traffic traces."""
+        self._slot = 0
+        self._traces = {
+            name: self._synth.generate(day_of_week=self._day % 7)
+            for name in self.slice_names
+        }
+        self._day += 1
+        self._cum_cost = {name: 0.0 for name in self.slice_names}
+        observations = {}
+        for name in self.slice_names:
+            spec = self.network.slices[name]
+            channel = self.network.channels[name]
+            observations[name] = SliceObservation(
+                slot_fraction=0.0,
+                traffic=float(self._traces[name][0]),
+                channel_quality=channel.normalized_quality(),
+                radio_usage=0.0,
+                workload=0.0,
+                last_usage=0.0,
+                last_cost=0.0,
+                cost_threshold=spec.sla.cost_threshold,
+                cumulative_cost=0.0,
+            )
+        self._last = dict(observations)
+        self._last_rates = {name: 0.0 for name in self.slice_names}
+        return observations
+
+    def realized_rate(self, name: str) -> float:
+        """Poisson-realised arrivals/s of a slice at the current slot."""
+        spec = self.network.slices[name]
+        envelope = float(self._traces[name][self._slot])
+        return self._arrivals.empirical_rate(
+            envelope * spec.max_arrival_rate, ARRIVAL_WINDOW_S)
+
+    def step(self, actions: Mapping[str, np.ndarray]
+             ) -> Dict[str, SliceStepResult]:
+        """Advance one slot with every slice's action.
+
+        Raises once the episode horizon is exceeded; callers check
+        :attr:`done` (or episode length) to reset.
+        """
+        if self._slot >= self.horizon:
+            raise RuntimeError("episode finished; call reset()")
+        self.network.step_channels()
+        rates = {name: self.realized_rate(name)
+                 for name in self.slice_names}
+        reports = self.network.evaluate_slot(dict(actions), rates)
+        self._slot += 1
+        results: Dict[str, SliceStepResult] = {}
+        for name, report in reports.items():
+            spec = self.network.slices[name]
+            self._cum_cost[name] += report.cost
+            horizon_cost = self.horizon * spec.sla.cost_threshold
+            next_traffic = (
+                float(self._traces[name][self._slot])
+                if self._slot < self.horizon
+                else float(self._traces[name][-1]))
+            obs = SliceObservation(
+                slot_fraction=self._slot / self.horizon,
+                traffic=rates[name] / spec.max_arrival_rate,
+                channel_quality=self.network.channels[name]
+                .normalized_quality(),
+                radio_usage=report.radio_usage,
+                workload=report.workload,
+                last_usage=report.usage,
+                last_cost=report.cost,
+                cost_threshold=spec.sla.cost_threshold,
+                cumulative_cost=self._cum_cost[name] / horizon_cost,
+            )
+            self._last[name] = obs
+            results[name] = SliceStepResult(
+                observation=obs, reward=-report.usage,
+                cost=report.cost, usage=report.usage, report=report)
+        self._last_rates = rates
+        return results
+
+    @property
+    def done(self) -> bool:
+        return self._slot >= self.horizon
+
+    def cumulative_cost(self, name: str) -> float:
+        return self._cum_cost[name]
+
+    def mean_cost(self, name: str) -> float:
+        """Mean per-slot cost so far this episode."""
+        if self._slot == 0:
+            return 0.0
+        return self._cum_cost[name] / self._slot
+
+    def sla_violated(self, name: str) -> bool:
+        """Episode-level SLA check: mean cost above ``C_max``."""
+        spec = self.network.slices[name]
+        return self.mean_cost(name) > spec.sla.cost_threshold
+
+
+#: A background policy maps (slice_name, observation) -> action.
+BackgroundPolicy = Callable[[str, SliceObservation], np.ndarray]
+
+
+def constant_background(action: np.ndarray) -> BackgroundPolicy:
+    """Background policy that always plays a fixed allocation."""
+    action = np.asarray(action, dtype=float)
+    if action.shape != (NUM_ACTIONS,):
+        raise ValueError(f"action must have {NUM_ACTIONS} dims")
+
+    def policy(_name: str, _obs: SliceObservation) -> np.ndarray:
+        return action.copy()
+
+    return policy
+
+
+class SliceEnv:
+    """Single-slice gym-like environment.
+
+    Wraps a :class:`ScenarioSimulator`: the focal slice takes the
+    caller's action while every other slice follows ``background``.
+    """
+
+    def __init__(self, simulator: ScenarioSimulator, slice_name: str,
+                 background: Optional[BackgroundPolicy] = None) -> None:
+        if slice_name not in simulator.slice_names:
+            raise KeyError(f"no slice {slice_name!r} in simulator")
+        self.simulator = simulator
+        self.slice_name = slice_name
+        default = np.full(NUM_ACTIONS, 0.15)
+        self.background = (background if background is not None
+                           else constant_background(default))
+        self._observations: Dict[str, SliceObservation] = {}
+
+    @property
+    def state_dim(self) -> int:
+        return STATE_DIM
+
+    @property
+    def action_dim(self) -> int:
+        return NUM_ACTIONS
+
+    @property
+    def horizon(self) -> int:
+        return self.simulator.horizon
+
+    def reset(self) -> np.ndarray:
+        self._observations = self.simulator.reset()
+        return self._observations[self.slice_name].vector()
+
+    def step(self, action: np.ndarray):
+        """Returns ``(obs_vector, reward, cost, done, result)``."""
+        actions = {}
+        for name in self.simulator.slice_names:
+            if name == self.slice_name:
+                actions[name] = np.asarray(action, dtype=float)
+            else:
+                actions[name] = self.background(
+                    name, self._observations[name])
+        results = self.simulator.step(actions)
+        for name, result in results.items():
+            self._observations[name] = result.observation
+        focal = results[self.slice_name]
+        return (focal.observation.vector(), focal.reward, focal.cost,
+                self.simulator.done, focal)

@@ -1,0 +1,303 @@
+"""The composed end-to-end network: RAN + TN + CN + EN per slot.
+
+:class:`EndToEndNetwork` owns one instance of every substrate (radio
+cell, transport fabric, CUPS core, edge pool, per-slice channels) and
+evaluates a configuration slot: given each slice's resource allocation
+(the 10-dim action) and realised traffic, it produces per-slice
+performance/cost plus the usage and state features the agents consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import (
+    ACTION_NAMES,
+    MAX_MCS_OFFSET,
+    NUM_ACTIONS,
+    NetworkConfig,
+    SliceSpec,
+    usage_from_action,
+)
+from repro.sim.apps import AppPerformance, PipelineState, evaluate_app
+from repro.sim.channel import ChannelProcess
+from repro.sim.containers import ContainerRuntime
+from repro.sim.core_network import CoreNetwork
+from repro.sim.edge import EdgeServerPool
+from repro.sim.ran import RadioCell, Scheduler
+from repro.sim.transport import TransportFabric
+
+
+@dataclass(frozen=True)
+class SliceAllocation:
+    """Decoded view of a 10-dim orchestration action."""
+
+    uplink_bandwidth: float
+    uplink_mcs_offset: int
+    uplink_scheduler: Scheduler
+    downlink_bandwidth: float
+    downlink_mcs_offset: int
+    downlink_scheduler: Scheduler
+    transport_bandwidth: float
+    transport_path: int
+    cpu_allocation: float
+    ram_allocation: float
+
+    #: Minimum share every admitted slice is granted on the consumable
+    #: resources.  Domain managers never configure a literal zero for an
+    #: active bearer/meter/container -- a 0-rate OpenFlow meter or a
+    #: 0-CPU cgroup would black-hole the slice entirely -- so requests
+    #: below the floor are rounded up to the minimum commitment.
+    MIN_SHARE = 0.01
+
+    @classmethod
+    def from_action(cls, action: np.ndarray,
+                    num_paths: int = 3) -> "SliceAllocation":
+        """Decode an action vector in [0, 1]^10.
+
+        Discretised dimensions: MCS offsets round to 0..10, schedulers
+        map thirds of [0, 1] to RR/PF/Max-CQI, and the path index maps
+        to the transport fabric's reserved paths.  Consumable shares
+        are floored at :attr:`MIN_SHARE`.
+        """
+        arr = np.clip(np.asarray(action, dtype=float), 0.0, 1.0)
+        if arr.shape != (NUM_ACTIONS,):
+            raise ValueError(
+                f"action must have shape ({NUM_ACTIONS},), got {arr.shape}")
+        floor = cls.MIN_SHARE
+        return cls(
+            uplink_bandwidth=max(float(arr[0]), floor),
+            uplink_mcs_offset=int(round(arr[1] * MAX_MCS_OFFSET)),
+            uplink_scheduler=Scheduler.from_action(arr[2]),
+            downlink_bandwidth=max(float(arr[3]), floor),
+            downlink_mcs_offset=int(round(arr[4] * MAX_MCS_OFFSET)),
+            downlink_scheduler=Scheduler.from_action(arr[5]),
+            transport_bandwidth=max(float(arr[6]), floor),
+            transport_path=int(np.clip(arr[7] * num_paths, 0,
+                                       num_paths - 1)),
+            cpu_allocation=max(float(arr[8]), floor),
+            ram_allocation=max(float(arr[9]), floor),
+        )
+
+
+@dataclass(frozen=True)
+class SlotReport:
+    """Per-slice outcome of one configuration slot."""
+
+    slice_name: str
+    performance: AppPerformance
+    usage: float                     # paper Eq. 9 scaled to [0, 1]
+    arrival_rate: float
+    ul_capacity_bps: float
+    dl_capacity_bps: float
+    radio_usage: float               # g_{t-1} state feature
+    workload: float                  # w_{t-1} state feature
+    transport_latency_ms: float
+    core_latency_ms: float
+    edge_latency_ms: float
+
+    @property
+    def cost(self) -> float:
+        return self.performance.cost
+
+
+#: The resource kinds shared across slices and capped by infrastructure
+#: (paper Sec. 4's constraint set K), mapped to action indices.
+CONSTRAINED_RESOURCES: Dict[str, int] = {
+    "uplink_prb": 0,
+    "downlink_prb": 3,
+    "transport_bandwidth": 6,
+    "cpu": 8,
+    "ram": 9,
+}
+
+
+class EndToEndNetwork:
+    """One end-to-end infrastructure instance hosting several slices."""
+
+    def __init__(self, cfg: Optional[NetworkConfig] = None,
+                 slices: Optional[Sequence[SliceSpec]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.cfg = cfg or NetworkConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(17)
+        self.cell = RadioCell(self.cfg.ran)
+        self.fabric = TransportFabric(self.cfg.transport)
+        runtime = ContainerRuntime(self.cfg.edge.total_cpu_cores,
+                                   self.cfg.edge.total_ram_gb)
+        self.core = CoreNetwork(self.cfg.core, runtime=runtime)
+        self.edge = EdgeServerPool(self.cfg.edge, runtime=runtime)
+        self.slices: Dict[str, SliceSpec] = {}
+        self.channels: Dict[str, ChannelProcess] = {}
+        self._imsi_counter = 0
+        if slices:
+            for spec in slices:
+                self.add_slice(spec)
+
+    # ---- slice lifecycle ---------------------------------------------
+
+    def add_slice(self, spec: SliceSpec) -> None:
+        """Create a slice end to end: SPGW-U pool, edge server, UEs."""
+        if spec.name in self.slices:
+            raise ValueError(f"slice {spec.name!r} already exists")
+        self.slices[spec.name] = spec
+        self.core.create_slice_pool(spec.name)
+        self.edge.create_server(spec.name)
+        self.channels[spec.name] = ChannelProcess(
+            self.cfg.users_per_slice, self._rng)
+        for _ in range(self.cfg.users_per_slice):
+            imsi = f"00101{self._imsi_counter:010d}"
+            self._imsi_counter += 1
+            self.core.hss.provision(imsi, spec.name)
+            self.core.attach(imsi)
+
+    def remove_slice(self, name: str) -> None:
+        if name not in self.slices:
+            raise KeyError(f"no slice {name!r}")
+        for session in list(self.core.sessions_of(name)):
+            self.core.detach(session.imsi)
+        self.core.delete_slice_pool(name)
+        self.edge.delete_server(name)
+        del self.channels[name]
+        del self.slices[name]
+
+    @property
+    def slice_names(self) -> List[str]:
+        return list(self.slices)
+
+    # ---- constraint accounting ----------------------------------------
+
+    @staticmethod
+    def over_request(actions: Dict[str, np.ndarray]) -> Dict[str, float]:
+        """Total requested share minus capacity (1.0) per resource kind.
+
+        Positive entries mean the infrastructure is over-requested --
+        the situation the action modifier / parameter coordinator
+        resolve (paper Sec. 4).
+        """
+        totals = {kind: 0.0 for kind in CONSTRAINED_RESOURCES}
+        for action in actions.values():
+            arr = np.asarray(action, dtype=float)
+            for kind, idx in CONSTRAINED_RESOURCES.items():
+                totals[kind] += float(arr[idx])
+        return {kind: total - 1.0 for kind, total in totals.items()}
+
+    # ---- slot evaluation -----------------------------------------------
+
+    def step_channels(self) -> None:
+        """Advance every slice's radio channel by one slot."""
+        for channel in self.channels.values():
+            channel.step()
+
+    def evaluate_slot(self, actions: Dict[str, np.ndarray],
+                      arrival_rates: Dict[str, float]
+                      ) -> Dict[str, SlotReport]:
+        """Evaluate one configuration slot for all slices.
+
+        Parameters
+        ----------
+        actions:
+            Slice name -> 10-dim action in [0, 1].  Callers are expected
+            to have already resolved over-requests (the domain managers
+            raise otherwise -- see :mod:`repro.domains`); this method
+            evaluates the network as configured.
+        arrival_rates:
+            Slice name -> realised arrivals per second this slot.
+        """
+        missing = set(self.slices) - set(actions)
+        if missing:
+            raise KeyError(f"missing actions for slices: {sorted(missing)}")
+        allocations = {
+            name: SliceAllocation.from_action(
+                actions[name], num_paths=self.fabric.num_paths)
+            for name in self.slices
+        }
+        # Transport contention: reserve every slice's meter first.
+        self.fabric.reset_loads()
+        for name, alloc in allocations.items():
+            self.fabric.reserve(
+                alloc.transport_path,
+                alloc.transport_bandwidth
+                * self.fabric.cfg.link_capacity_bps)
+        reports: Dict[str, SlotReport] = {}
+        for name, alloc in allocations.items():
+            reports[name] = self._evaluate_slice(
+                name, alloc, actions[name],
+                float(arrival_rates.get(name, 0.0)))
+        return reports
+
+    def _evaluate_slice(self, name: str, alloc: SliceAllocation,
+                        action: np.ndarray, arrival_rate: float
+                        ) -> SlotReport:
+        spec = self.slices[name]
+        channel = self.channels[name]
+        ul = self.cell.slice_capacity(
+            alloc.uplink_bandwidth, alloc.uplink_mcs_offset,
+            alloc.uplink_scheduler, channel, uplink=True)
+        dl = self.cell.slice_capacity(
+            alloc.downlink_bandwidth, alloc.downlink_mcs_offset,
+            alloc.downlink_scheduler, channel, uplink=False)
+        offered_bps = arrival_rate * (spec.uplink_payload_bits
+                                      + spec.downlink_payload_bits)
+        transport = self.fabric.evaluate(
+            alloc.transport_path, alloc.transport_bandwidth, offered_bps)
+        self.core.set_slice_resources(name, alloc.cpu_allocation,
+                                      alloc.ram_allocation
+                                      * self.cfg.edge.total_ram_gb)
+        core = self.core.evaluate(name, offered_bps)
+        self.edge.set_resources(name, alloc.cpu_allocation,
+                                alloc.ram_allocation)
+        edge = self.edge.evaluate(name,
+                                  arrival_rate * spec.compute_units,
+                                  compute_units_per_request=1.0)
+        pipe = PipelineState(
+            arrival_rate=arrival_rate,
+            ul_capacity_bps=ul.capacity_bps,
+            dl_capacity_bps=dl.capacity_bps,
+            ul_retx_probability=ul.retransmission_probability,
+            dl_retx_probability=dl.retransmission_probability,
+            ran_base_latency_ms=self.cfg.ran.base_latency_ms,
+            transport_rate_bps=transport.rate_cap_bps,
+            transport_latency_ms=transport.latency_ms,
+            core_latency_ms=core.latency_ms,
+            core_capacity_pps=core.processing_rate_pps,
+            edge_latency_ms=edge.latency_ms,
+            edge_capacity_ups=edge.service_rate_ups,
+            mean_packet_bits=self.cfg.core.mean_packet_bits,
+        )
+        performance = evaluate_app(spec, pipe)
+        radio_usage = 0.5 * (alloc.uplink_bandwidth
+                             + alloc.downlink_bandwidth)
+        workload = 0.5 * (core.utilization + edge.utilization)
+        return SlotReport(
+            slice_name=name,
+            performance=performance,
+            usage=usage_from_action(action),
+            arrival_rate=arrival_rate,
+            ul_capacity_bps=ul.capacity_bps,
+            dl_capacity_bps=dl.capacity_bps,
+            radio_usage=radio_usage,
+            workload=workload,
+            transport_latency_ms=transport.latency_ms,
+            core_latency_ms=core.latency_ms,
+            edge_latency_ms=edge.latency_ms,
+        )
+
+    # ---- diagnostics -----------------------------------------------------
+
+    def ping_delay_ms(self, slice_name: str,
+                      rng: Optional[np.random.Generator] = None) -> float:
+        """One emulated ping between a UE and its SPGW-U (paper Fig. 16).
+
+        RAN base latency both ways + per-hop transport forwarding +
+        core control latency, with light jitter.
+        """
+        rng = rng if rng is not None else self._rng
+        ran_rtt = 2.0 * self.cfg.ran.base_latency_ms
+        hops = self.fabric.path_hops(0)
+        tn_rtt = 2.0 * hops * self.cfg.transport.hop_latency_ms
+        cn_rtt = 2.0 * self.cfg.core.base_latency_ms
+        jitter = float(rng.gamma(2.0, 0.8))
+        return ran_rtt + tn_rtt + cn_rtt + jitter

@@ -1,0 +1,194 @@
+"""PHY-layer abstraction: CQI/MCS tables, spectral efficiency, BLER.
+
+Models the pieces of the OAI PHY/MAC that the paper's RDM manipulates:
+
+* the standard CQI -> MCS mapping (3GPP TS 36.213 Table 7.2.3-1 shape),
+* the *customised CQI-MCS mapping table* of the RDM, realised as an MCS
+  offset subtracted from the vanilla MCS ("a uRLLC slice can map CQI
+  index 15 to 16-QAM instead of standardized 64-QAM to achieve more
+  robust radio transmissions but lower link capacities"),
+* a block-error-rate model in which backing off the MCS exponentially
+  reduces the retransmission probability, matching the paper's Fig. 6
+  measurement (~1e-1 at offset 0 down to ~1e-5 at offset 10, with the
+  uplink benefiting more steeply than the downlink).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import MAX_MCS_OFFSET
+
+#: CQI index -> (modulation order bits, code rate x1024, efficiency)
+#: following 3GPP TS 36.213 Table 7.2.3-1 (4-bit CQI, QPSK..64QAM).
+CQI_TABLE: Tuple[Tuple[int, int, float], ...] = (
+    (0, 0, 0.0),        # out of range / no transmission
+    (2, 78, 0.1523),
+    (2, 120, 0.2344),
+    (2, 193, 0.3770),
+    (2, 308, 0.6016),
+    (2, 449, 0.8770),
+    (2, 602, 1.1758),
+    (4, 378, 1.4766),
+    (4, 490, 1.9141),
+    (4, 616, 2.4063),
+    (6, 466, 2.7305),
+    (6, 567, 3.3223),
+    (6, 666, 3.9023),
+    (6, 772, 4.5234),
+    (6, 873, 5.1152),
+    (6, 948, 5.5547),
+)
+
+#: MCS index -> spectral efficiency (bit/s/Hz), a 29-entry table with the
+#: TS 36.213 Table 8.6.1-1 modulation split (QPSK 0-9, 16QAM 10-16,
+#: 64QAM 17-28) and efficiencies interpolated between the CQI anchors.
+MCS_TABLE: Tuple[float, ...] = tuple(
+    float(x) for x in np.concatenate([
+        np.linspace(0.1523, 1.1758, 10),   # MCS 0-9   QPSK
+        np.linspace(1.3262, 2.4063, 7),    # MCS 10-16 16QAM
+        np.linspace(2.5664, 5.5547, 12),   # MCS 17-28 64QAM
+    ])
+)
+
+NUM_CQI = len(CQI_TABLE) - 1      # CQI 1..15 usable
+NUM_MCS = len(MCS_TABLE)          # MCS 0..28
+
+#: SNR (dB) at which each CQI level is reported: roughly 2 dB per CQI
+#: step starting at -6 dB (standard link-adaptation curves).
+CQI_SNR_THRESHOLDS_DB: Tuple[float, ...] = tuple(
+    -6.0 + 2.0 * i for i in range(NUM_CQI))
+
+
+def snr_to_cqi(snr_db: float) -> int:
+    """Quantise an SNR measurement to the reported CQI index (1..15)."""
+    cqi = int(np.searchsorted(CQI_SNR_THRESHOLDS_DB, snr_db, side="right"))
+    return int(np.clip(cqi, 1, NUM_CQI))
+
+
+def cqi_to_mcs(cqi: int) -> int:
+    """Vanilla CQI -> MCS mapping (the OAI default the RDM customises).
+
+    Approximately ``mcs = 2 * cqi - 2`` which lands CQI 15 on MCS 28.
+    """
+    if not 1 <= cqi <= NUM_CQI:
+        raise ValueError(f"CQI must be in 1..{NUM_CQI}, got {cqi}")
+    return int(np.clip(2 * cqi - 2, 0, NUM_MCS - 1))
+
+
+def mcs_spectral_efficiency(mcs: int) -> float:
+    """Spectral efficiency (bit/s/Hz) achieved by an MCS index."""
+    if not 0 <= mcs < NUM_MCS:
+        raise ValueError(f"MCS must be in 0..{NUM_MCS - 1}, got {mcs}")
+    return MCS_TABLE[mcs]
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Result of a PHY evaluation for one link direction."""
+
+    mcs: int
+    spectral_efficiency: float     # bit/s/Hz before HARQ losses
+    bler: float                    # first-transmission block error rate
+    retransmission_probability: float
+    goodput_efficiency: float      # efficiency after HARQ overhead
+
+
+class PhyModel:
+    """Link-level model tying CQI, MCS offset and retransmissions.
+
+    Parameters
+    ----------
+    uplink_bler_decay / downlink_bler_decay:
+        Per-offset-step multiplicative decay of the retransmission
+        probability.  Fitted to the paper's Fig. 6: the retransmission
+        probability falls from ~1e-1 to ~1e-5 over offsets 0..10 in the
+        uplink (decay ~0.40/step) and from ~1.5e-2 to ~1.5e-4 in the
+        flatter downlink (~0.63/step).
+    base_retx_ul / base_retx_dl:
+        Retransmission probability at offset 0 under nominal channel
+        conditions.
+    """
+
+    def __init__(self, base_retx_ul: float = 0.12,
+                 base_retx_dl: float = 0.015,
+                 uplink_bler_decay: float = 0.40,
+                 downlink_bler_decay: float = 0.63) -> None:
+        if not 0 < base_retx_ul < 1 or not 0 < base_retx_dl < 1:
+            raise ValueError("base retransmission probs must be in (0,1)")
+        if not 0 < uplink_bler_decay < 1 or not 0 < downlink_bler_decay < 1:
+            raise ValueError("decay factors must be in (0,1)")
+        self.base_retx_ul = base_retx_ul
+        self.base_retx_dl = base_retx_dl
+        self.uplink_bler_decay = uplink_bler_decay
+        self.downlink_bler_decay = downlink_bler_decay
+
+    def effective_mcs(self, cqi: int, mcs_offset: int,
+                      fixed_mcs: int = -1) -> int:
+        """MCS actually used: vanilla MCS from CQI minus the offset.
+
+        A non-negative ``fixed_mcs`` (paper Sec. 7.2 pins MCS 9 for the
+        4G/5G comparison) bypasses link adaptation; the offset then
+        still applies below the fixed point, mirroring how the RDM's
+        custom table composes with a pinned MCS.
+        """
+        if not 0 <= mcs_offset <= MAX_MCS_OFFSET:
+            raise ValueError(
+                f"mcs_offset must be in 0..{MAX_MCS_OFFSET}")
+        base = fixed_mcs if fixed_mcs >= 0 else cqi_to_mcs(cqi)
+        return int(np.clip(base - mcs_offset, 0, NUM_MCS - 1))
+
+    def retransmission_probability(self, mcs_offset: int,
+                                   uplink: bool,
+                                   channel_margin_db: float = 0.0
+                                   ) -> float:
+        """First-transmission error probability at a given offset.
+
+        ``channel_margin_db`` shifts the curve: positive margins (better
+        channel than the CQI report assumed) reduce the error rate by
+        ~a decade per 6 dB.
+        """
+        if uplink:
+            base, decay = self.base_retx_ul, self.uplink_bler_decay
+        else:
+            base, decay = self.base_retx_dl, self.downlink_bler_decay
+        prob = base * decay ** mcs_offset
+        prob *= 10.0 ** (-channel_margin_db / 6.0)
+        return float(np.clip(prob, 1e-9, 0.99))
+
+    def link_quality(self, cqi: int, mcs_offset: int, uplink: bool,
+                     fixed_mcs: int = -1,
+                     channel_margin_db: float = 0.0) -> LinkQuality:
+        """Full link evaluation for one direction.
+
+        The goodput efficiency folds HARQ retransmissions in as a rate
+        discount of ``1 / (1 + p)`` (each errored block consumes one
+        extra transmission on average for small ``p``).
+        """
+        mcs = self.effective_mcs(cqi, mcs_offset, fixed_mcs=fixed_mcs)
+        eff = mcs_spectral_efficiency(mcs)
+        retx = self.retransmission_probability(
+            mcs_offset, uplink, channel_margin_db=channel_margin_db)
+        goodput = eff * (1.0 - retx) / (1.0 + retx)
+        return LinkQuality(mcs=mcs, spectral_efficiency=eff, bler=retx,
+                           retransmission_probability=retx,
+                           goodput_efficiency=goodput)
+
+    def message_failure_probability(self, mcs_offset: int, uplink: bool,
+                                    harq_rounds: int = 2,
+                                    channel_margin_db: float = 0.0
+                                    ) -> float:
+        """Probability a small message fails all HARQ rounds.
+
+        The RDC slice's reliability metric: a 1 kbit message fits one
+        transport block, is retried up to ``harq_rounds`` times, and is
+        lost only when every round fails.
+        """
+        if harq_rounds < 1:
+            raise ValueError("harq_rounds must be >= 1")
+        p = self.retransmission_probability(
+            mcs_offset, uplink, channel_margin_db=channel_margin_db)
+        return float(p ** harq_rounds)

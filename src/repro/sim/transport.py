@@ -1,0 +1,128 @@
+"""Transport network: SDN switch fabric, meters, reserved paths.
+
+Substitutes the Ruckus ICX 7150-C12P + OpenDayLight TDM: the topology is
+a networkx multigraph between the RAN aggregation point and the core,
+offering ``num_paths`` pre-computed paths of increasing hop count.  The
+``U_b`` action maps to an OpenFlow-meter-style rate cap ("the meters API
+limits the maximum data rate of associated flows") and ``U_l`` selects
+the reserved path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.config import TransportConfig
+
+
+@dataclass(frozen=True)
+class TransportReport:
+    """Per-slot transport outcome for one slice."""
+
+    path_index: int
+    hops: int
+    rate_cap_bps: float
+    achieved_rate_bps: float
+    latency_ms: float
+
+
+def build_topology(cfg: TransportConfig) -> nx.MultiGraph:
+    """Construct the switch fabric between ``ran`` and ``core``.
+
+    Path ``k`` is a chain of ``2 + extra_hops[k]`` links through
+    dedicated intermediate switches, all at ``link_capacity_bps``.
+    """
+    graph = nx.MultiGraph()
+    graph.add_node("ran")
+    graph.add_node("core")
+    for k, extra in enumerate(cfg.path_extra_hops):
+        hops = 2 + extra
+        prev = "ran"
+        for h in range(hops - 1):
+            node = f"sw{k}_{h}"
+            graph.add_node(node)
+            graph.add_edge(prev, node, path=k,
+                           capacity=cfg.link_capacity_bps)
+            prev = node
+        graph.add_edge(prev, "core", path=k,
+                       capacity=cfg.link_capacity_bps)
+    return graph
+
+
+class TransportFabric:
+    """Stateful transport network shared by all slices.
+
+    Tracks per-path reserved load so queueing latency grows as a path
+    approaches saturation (M/M/1-style), and enforces per-slice meters.
+    """
+
+    def __init__(self, cfg: Optional[TransportConfig] = None) -> None:
+        self.cfg = cfg or TransportConfig()
+        self.graph = build_topology(self.cfg)
+        self._path_hops: List[int] = [
+            2 + extra for extra in self.cfg.path_extra_hops]
+        self._path_load_bps = np.zeros(self.cfg.num_paths)
+
+    @property
+    def num_paths(self) -> int:
+        return self.cfg.num_paths
+
+    def path_index_from_action(self, value: float) -> int:
+        """Map the continuous ``U_l`` action in [0, 1] to a path index."""
+        idx = int(np.clip(value * self.num_paths, 0,
+                          self.num_paths - 1))
+        return idx
+
+    def path_hops(self, path_index: int) -> int:
+        if not 0 <= path_index < self.num_paths:
+            raise ValueError(f"path index out of range: {path_index}")
+        return self._path_hops[path_index]
+
+    def reset_loads(self) -> None:
+        """Clear reserved load at the start of a slot."""
+        self._path_load_bps.fill(0.0)
+
+    def reserve(self, path_index: int, rate_bps: float) -> None:
+        """Account a slice's metered reservation on a path."""
+        if rate_bps < 0:
+            raise ValueError("rate_bps must be non-negative")
+        self._path_load_bps[path_index] += rate_bps
+
+    def path_utilization(self, path_index: int) -> float:
+        return float(self._path_load_bps[path_index]
+                     / self.cfg.link_capacity_bps)
+
+    def evaluate(self, path_index: int, meter_share: float,
+                 offered_bps: float) -> TransportReport:
+        """Carry a slice's offered load over its reserved path.
+
+        ``meter_share`` in [0, 1] scales the OpenFlow meter cap; the
+        achieved rate is ``min(offered, cap)``.  Latency = per-hop
+        forwarding plus an M/M/1 queueing term on the path utilisation
+        (keeps latency finite but sharply increasing near saturation).
+        """
+        meter_share = float(np.clip(meter_share, 0.0, 1.0))
+        cap = meter_share * self.cfg.link_capacity_bps
+        achieved = min(offered_bps, cap)
+        hops = self.path_hops(path_index)
+        utilization = min(self.path_utilization(path_index), 0.99)
+        queueing_ms = (self.cfg.hop_latency_ms * utilization
+                       / (1.0 - utilization))
+        latency = hops * self.cfg.hop_latency_ms + queueing_ms
+        if cap <= 0 and offered_bps > 0:
+            latency = float("inf")
+        return TransportReport(
+            path_index=path_index, hops=hops, rate_cap_bps=cap,
+            achieved_rate_bps=float(achieved), latency_ms=float(latency))
+
+    def shortest_path_nodes(self, path_index: int) -> List[str]:
+        """The node sequence of a reserved path (for inspection/tests)."""
+        edges = [(u, v) for u, v, data in self.graph.edges(data=True)
+                 if data["path"] == path_index]
+        subgraph = nx.Graph()
+        subgraph.add_edges_from(edges)
+        return nx.shortest_path(subgraph, "ran", "core")

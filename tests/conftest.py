@@ -1,0 +1,42 @@
+"""Shared fixtures for the OnSlicing reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    NetworkConfig,
+    TrafficConfig,
+    default_slice_specs,
+)
+from repro.sim.env import ScenarioSimulator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def specs():
+    return default_slice_specs()
+
+
+@pytest.fixture
+def short_config():
+    """An experiment config with a short horizon for fast tests."""
+    return ExperimentConfig(
+        traffic=TrafficConfig(slots_per_episode=12), seed=5)
+
+
+@pytest.fixture
+def simulator(short_config):
+    return ScenarioSimulator(short_config)
+
+
+@pytest.fixture
+def full_simulator():
+    """Full 96-slot scenario (use sparingly)."""
+    return ScenarioSimulator(ExperimentConfig(seed=5))

@@ -1,0 +1,182 @@
+"""Tests: rule-based baseline, model-based method, OnRL, projection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.model_based import ModelBasedConfig, ModelBasedPolicy
+from repro.baselines.onrl import OnRLAgent, OnRLConfig
+from repro.baselines.projection import project_actions
+from repro.baselines.rule_based import (
+    DEFAULT_ACTIONS,
+    GRID_VALUES,
+    KEY_FACTORS,
+    GridSearchConfig,
+    RuleBasedPolicy,
+    default_action,
+    fit_rule_based_policy,
+)
+from repro.config import (
+    NUM_ACTIONS,
+    action_index,
+    default_slice_specs,
+    mar_slice_spec,
+    usage_from_action,
+)
+from repro.sim.env import SliceObservation
+from repro.sim.network import CONSTRAINED_RESOURCES
+
+
+def _obs(traffic: float) -> SliceObservation:
+    return SliceObservation(
+        slot_fraction=0.5, traffic=traffic, channel_quality=0.8,
+        radio_usage=0.2, workload=0.2, last_usage=0.2, last_cost=0.0,
+        cost_threshold=0.05, cumulative_cost=0.1)
+
+
+class TestProjection:
+    def test_scales_only_overcommitted_kinds(self):
+        actions = {
+            "a": np.full(NUM_ACTIONS, 0.8),
+            "b": np.full(NUM_ACTIONS, 0.6),
+        }
+        projected = project_actions(actions)
+        for kind, idx in CONSTRAINED_RESOURCES.items():
+            total = projected["a"][idx] + projected["b"][idx]
+            assert total == pytest.approx(1.0)
+        # non-constrained dims untouched (e.g. MCS offsets)
+        assert projected["a"][action_index("uplink_mcs_offset")] == 0.8
+
+    def test_noop_when_feasible(self):
+        actions = {"a": np.full(NUM_ACTIONS, 0.3),
+                   "b": np.full(NUM_ACTIONS, 0.3)}
+        projected = project_actions(actions)
+        for name in actions:
+            np.testing.assert_array_equal(projected[name],
+                                          actions[name])
+
+    def test_inputs_not_mutated(self):
+        original = np.full(NUM_ACTIONS, 0.9)
+        project_actions({"a": original, "b": original.copy()})
+        assert np.all(original == 0.9)
+
+    def test_empty(self):
+        assert project_actions({}) == {}
+
+
+class TestRuleBased:
+    def test_key_factors_match_paper(self):
+        assert KEY_FACTORS["mar"] == (
+            "uplink_bandwidth", "transport_bandwidth",
+            "cpu_allocation")
+        assert KEY_FACTORS["hvs"] == (
+            "downlink_bandwidth", "transport_bandwidth")
+        assert KEY_FACTORS["rdc"] == (
+            "uplink_mcs_offset", "downlink_mcs_offset")
+
+    def test_default_action_shape(self):
+        for app in ("mar", "hvs", "rdc"):
+            action = default_action(app)
+            assert action.shape == (NUM_ACTIONS,)
+            assert np.all((action >= 0) & (action <= 1))
+
+    def test_policy_bins_monotone_lookup(self):
+        actions = [np.full(NUM_ACTIONS, v) for v in (0.2, 0.4, 0.8)]
+        policy = RuleBasedPolicy("S", "mar", [0.3, 0.6, 1.3], actions)
+        np.testing.assert_array_equal(
+            policy.action_for_traffic(0.1), actions[0])
+        np.testing.assert_array_equal(
+            policy.action_for_traffic(0.5), actions[1])
+        np.testing.assert_array_equal(
+            policy.action_for_traffic(2.0), actions[2])
+
+    def test_policy_act_uses_traffic_feature(self):
+        actions = [np.full(NUM_ACTIONS, v) for v in (0.2, 0.8)]
+        policy = RuleBasedPolicy("S", "mar", [0.5, 1.3], actions)
+        low = policy.act(_obs(0.1))
+        high = policy.act(_obs(0.9))
+        assert low[0] < high[0]
+
+    def test_bin_count_must_match(self):
+        with pytest.raises(ValueError):
+            RuleBasedPolicy("S", "mar", [0.5, 1.0],
+                            [np.zeros(NUM_ACTIONS)])
+
+    def test_fit_is_deterministic_and_meets_sla(self):
+        spec = mar_slice_spec()
+        cfg = GridSearchConfig(bin_edges=(0.5, 1.3), eval_slots=2)
+        a = fit_rule_based_policy(spec, search_cfg=cfg)
+        b = fit_rule_based_policy(spec, search_cfg=cfg)
+        for act_a, act_b in zip(a.actions, b.actions):
+            np.testing.assert_array_equal(act_a, act_b)
+
+    def test_fit_usage_grows_with_traffic(self):
+        spec = mar_slice_spec()
+        cfg = GridSearchConfig(bin_edges=(0.3, 0.7, 1.3),
+                               eval_slots=2)
+        policy = fit_rule_based_policy(spec, search_cfg=cfg)
+        usages = [usage_from_action(a) for a in policy.actions]
+        assert usages[-1] >= usages[0]
+
+
+class TestModelBased:
+    def test_mar_uplink_grows_with_traffic(self):
+        policy = ModelBasedPolicy(mar_slice_spec())
+        low = policy.action_for_rate(1.0)
+        high = policy.action_for_rate(4.0)
+        idx = action_index("uplink_bandwidth")
+        assert high[idx] > low[idx]
+
+    def test_mar_closed_form_recovered(self):
+        """SLSQP recovers U_u = f*s / (R * (P - l_s))."""
+        spec = mar_slice_spec()
+        cfg = ModelBasedConfig()
+        policy = ModelBasedPolicy(spec, cfg=cfg)
+        rate = 2.0
+        action = policy.action_for_rate(rate)
+        f = rate * cfg.provisioning_margin
+        budget_s = (spec.sla.target - cfg.static_latency_ms) / 1e3
+        expected = f * spec.uplink_payload_bits / (
+            policy._nominal_ul_bps * budget_s)
+        assert action[action_index("uplink_bandwidth")] == \
+            pytest.approx(expected, rel=0.05)
+
+    def test_rdc_offsets_fixed(self):
+        policy = ModelBasedPolicy(default_slice_specs()[2])
+        action = policy.action_for_rate(50.0)
+        assert action[action_index("uplink_mcs_offset")] == \
+            pytest.approx(0.6)
+        assert action[action_index("downlink_mcs_offset")] == 0.0
+
+    def test_hvs_downlink_proportional_to_demand(self):
+        policy = ModelBasedPolicy(default_slice_specs()[1])
+        a1 = policy.action_for_rate(0.5)
+        a2 = policy.action_for_rate(1.0)
+        idx = action_index("downlink_bandwidth")
+        assert a2[idx] == pytest.approx(2 * a1[idx], rel=0.05)
+
+
+class TestOnRL:
+    def test_act_observe_update_cycle(self, rng):
+        agent = OnRLAgent("S", state_dim=9, action_dim=NUM_ACTIONS,
+                          cfg=OnRLConfig(update_threshold=8), rng=rng)
+        for _ in range(10):
+            agent.act(np.zeros(9))
+            agent.observe(reward=-0.5, cost=0.1)
+        agent.end_episode()
+        stats = agent.maybe_update()
+        assert stats is not None
+        assert agent.updates_run == 1
+
+    def test_reward_shaping_applied(self, rng):
+        agent = OnRLAgent("S", 9, NUM_ACTIONS,
+                          cfg=OnRLConfig(penalty_weight=2.0), rng=rng)
+        agent.act(np.zeros(9))
+        agent.observe(reward=-0.5, cost=0.25)
+        agent.buffer.end_episode()
+        batch = agent.buffer.get(normalize_advantages=False)
+        assert batch["returns"][0] == pytest.approx(-1.0)
+
+    def test_observe_before_act_raises(self, rng):
+        agent = OnRLAgent("S", 9, NUM_ACTIONS, rng=rng)
+        with pytest.raises(RuntimeError):
+            agent.observe(0.0, 0.0)

@@ -1,0 +1,220 @@
+"""Unit tests: domain managers, REST interface, parameter coordinator."""
+
+import numpy as np
+import pytest
+
+from repro.config import NetworkConfig, lte_ran_config
+from repro.domains import (
+    CoreDomainManager,
+    EdgeDomainManager,
+    RadioDomainManager,
+    Request,
+    ResourceConstraintError,
+    TransportDomainManager,
+)
+from repro.domains.coordinator import ParameterCoordinator
+from repro.sim.containers import ContainerRuntime
+from repro.sim.core_network import CoreNetwork
+from repro.sim.edge import EdgeServerPool
+from repro.sim.ran import RadioCell, Scheduler
+from repro.sim.transport import TransportFabric
+
+
+@pytest.fixture
+def rdm():
+    manager = RadioDomainManager(RadioCell(lte_ran_config()))
+    manager.create_slice("MAR")
+    manager.create_slice("HVS")
+    return manager
+
+
+@pytest.fixture
+def tdm():
+    manager = TransportDomainManager(TransportFabric())
+    manager.create_slice("MAR")
+    manager.create_slice("HVS")
+    return manager
+
+
+@pytest.fixture
+def edm():
+    manager = EdgeDomainManager(EdgeServerPool())
+    manager.create_slice("MAR")
+    manager.create_slice("HVS")
+    return manager
+
+
+class TestRDM:
+    def test_configure_and_read(self, rdm):
+        rdm.configure_slice("MAR", uplink_share=0.4,
+                            downlink_share=0.3, uplink_mcs_offset=2)
+        assert rdm.requested_share("MAR", "uplink_prb") == 0.4
+        assert rdm.requested_share("MAR", "downlink_prb") == 0.3
+
+    def test_isolation_enforced(self, rdm):
+        rdm.configure_slice("MAR", uplink_share=0.7,
+                            downlink_share=0.5)
+        with pytest.raises(ResourceConstraintError):
+            rdm.configure_slice("HVS", uplink_share=0.4,
+                                downlink_share=0.1)
+
+    def test_invalid_offset(self, rdm):
+        with pytest.raises(ValueError):
+            rdm.configure_slice("MAR", 0.1, 0.1, uplink_mcs_offset=11)
+
+    def test_unknown_slice(self, rdm):
+        with pytest.raises(KeyError):
+            rdm.configure_slice("XX", 0.1, 0.1)
+
+    def test_unknown_resource_kind(self, rdm):
+        with pytest.raises(KeyError):
+            rdm.requested_share("MAR", "cpu")
+
+    def test_rest_roundtrip(self, rdm):
+        response = rdm.handle(Request(
+            "PUT", "/slices/MAR/resources",
+            body={"uplink_share": 0.25, "downlink_share": 0.2,
+                  "uplink_mcs_offset": 3}))
+        assert response.ok
+        response = rdm.handle(Request("GET", "/slices/MAR"))
+        assert response.body["uplink_share"] == 0.25
+        assert response.body["uplink_mcs_offset"] == 3
+
+    def test_rest_404(self, rdm):
+        response = rdm.handle(Request("GET", "/nonsense"))
+        assert response.status == 404
+
+    def test_rest_409_on_overcommit(self, rdm):
+        rdm.handle(Request("PUT", "/slices/MAR/resources",
+                           body={"uplink_share": 0.9,
+                                 "downlink_share": 0.1}))
+        response = rdm.handle(Request(
+            "PUT", "/slices/HVS/resources",
+            body={"uplink_share": 0.3, "downlink_share": 0.1}))
+        assert response.status == 409
+
+    def test_rest_create_delete(self, rdm):
+        assert rdm.handle(Request("POST", "/slices/RDC")).ok
+        assert rdm.handle(Request("DELETE", "/slices/RDC")).ok
+        assert rdm.handle(
+            Request("GET", "/slices/RDC")).status == 400
+
+    def test_measure_retransmission_matches_phy(self, rdm):
+        assert rdm.measure_retransmission(0, uplink=True) == \
+            pytest.approx(0.12)
+
+
+class TestTDM:
+    def test_meter_capacity_enforced(self, tdm):
+        tdm.configure_slice("MAR", meter_share=0.8)
+        with pytest.raises(ResourceConstraintError):
+            tdm.configure_slice("HVS", meter_share=0.3)
+
+    def test_invalid_path(self, tdm):
+        with pytest.raises(ValueError):
+            tdm.configure_slice("MAR", meter_share=0.1, path_index=9)
+
+    def test_carry_uses_configuration(self, tdm):
+        tdm.configure_slice("MAR", meter_share=0.01, path_index=1)
+        tdm.fabric.reset_loads()
+        report = tdm.carry("MAR", offered_bps=1e9)
+        assert report.achieved_rate_bps == pytest.approx(1e7)
+        assert report.path_index == 1
+
+    def test_rest_configure(self, tdm):
+        response = tdm.handle(Request(
+            "PUT", "/slices/MAR/meter",
+            body={"meter_share": 0.2, "path_index": 2}))
+        assert response.ok
+        got = tdm.handle(Request("GET", "/slices/MAR"))
+        assert got.body == {"meter_share": 0.2, "path_index": 2}
+
+
+class TestCDM:
+    def test_attach_via_rest(self):
+        core = CoreNetwork()
+        cdm = CoreDomainManager(core)
+        cdm.create_slice("MAR")
+        core.hss.provision("imsi1", "MAR")
+        response = cdm.handle(Request("POST",
+                                      "/subscribers/imsi1/attach"))
+        assert response.ok
+        assert response.body["slice"] == "MAR"
+        sessions = cdm.handle(Request("GET", "/slices/MAR/sessions"))
+        assert sessions.body["sessions"] == ["imsi1"]
+
+    def test_owns_no_constrained_resources(self):
+        cdm = CoreDomainManager(CoreNetwork())
+        assert cdm.resource_kinds == ()
+        with pytest.raises(KeyError):
+            cdm.requested_share("MAR", "cpu")
+
+
+class TestEDM:
+    def test_cpu_capacity_enforced(self, edm):
+        edm.configure_slice("MAR", cpu_share=0.8, ram_share=0.5)
+        with pytest.raises(ResourceConstraintError):
+            edm.configure_slice("HVS", cpu_share=0.3, ram_share=0.1)
+
+    def test_ram_capacity_enforced(self, edm):
+        edm.configure_slice("MAR", cpu_share=0.2, ram_share=0.9)
+        with pytest.raises(ResourceConstraintError):
+            edm.configure_slice("HVS", cpu_share=0.2, ram_share=0.2)
+
+    def test_requested_share(self, edm):
+        edm.configure_slice("MAR", cpu_share=0.4, ram_share=0.3)
+        assert edm.requested_share("MAR", "cpu") == 0.4
+        assert edm.requested_share("MAR", "ram") == 0.3
+
+    def test_evaluate_through_manager(self, edm):
+        edm.configure_slice("MAR", cpu_share=0.5, ram_share=0.5)
+        report = edm.evaluate("MAR", offered_rate_ups=2.0)
+        assert np.isfinite(report.latency_ms)
+
+
+class TestParameterCoordinator:
+    def test_beta_grows_on_over_request(self):
+        coord = ParameterCoordinator(["cpu"], step_size=0.5)
+        coord.begin_slot()
+        beta = coord.update({"cpu": 1.4})
+        assert beta["cpu"] == pytest.approx(0.2)
+
+    def test_beta_decays_when_satisfied(self):
+        coord = ParameterCoordinator(["cpu"], step_size=0.5)
+        coord.begin_slot()
+        coord.update({"cpu": 1.4})
+        beta = coord.update({"cpu": 0.8})
+        assert beta["cpu"] == pytest.approx(0.1)
+
+    def test_beta_never_negative(self):
+        coord = ParameterCoordinator(["cpu"], step_size=0.5)
+        coord.begin_slot()
+        beta = coord.update({"cpu": 0.0})
+        assert beta["cpu"] == 0.0
+
+    def test_warm_start_carries_over_slots(self):
+        coord = ParameterCoordinator(["cpu"], step_size=0.5,
+                                     warm_start=True)
+        coord.begin_slot()
+        coord.update({"cpu": 1.4})
+        carried = coord.begin_slot()
+        assert carried["cpu"] == pytest.approx(0.2)
+
+    def test_cold_start_resets(self):
+        coord = ParameterCoordinator(["cpu"], step_size=0.5,
+                                     warm_start=False)
+        coord.begin_slot()
+        coord.update({"cpu": 1.4})
+        fresh = coord.begin_slot()
+        assert fresh["cpu"] == 0.0
+
+    def test_satisfied_check(self):
+        coord = ParameterCoordinator(["cpu", "ram"])
+        assert coord.satisfied({"cpu": 0.9, "ram": 1.0})
+        assert not coord.satisfied({"cpu": 1.1, "ram": 0.5})
+
+    def test_requires_resources(self):
+        with pytest.raises(ValueError):
+            ParameterCoordinator([])
+        with pytest.raises(ValueError):
+            ParameterCoordinator(["cpu"], step_size=0.0)

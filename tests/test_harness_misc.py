@@ -1,0 +1,50 @@
+"""Tests: harness plumbing that needs no training (cheap paths)."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig, TrafficConfig
+from repro.experiments.harness import build_onslicing, fit_baselines
+
+
+class TestFitBaselinesCache:
+    def test_cache_returns_same_objects(self):
+        cfg = ExperimentConfig(
+            traffic=TrafficConfig(slots_per_episode=8))
+        first = fit_baselines(cfg)
+        second = fit_baselines(cfg)
+        for name in first:
+            assert first[name] is second[name]
+
+    def test_cache_bypass(self):
+        cfg = ExperimentConfig(
+            traffic=TrafficConfig(slots_per_episode=8))
+        cached = fit_baselines(cfg)
+        fresh = fit_baselines(cfg, use_cache=False)
+        for name in cached:
+            assert cached[name] is not fresh[name]
+            for a, b in zip(cached[name].actions, fresh[name].actions):
+                np.testing.assert_array_equal(a, b)
+
+
+def test_build_onslicing_rejects_unknown_variant():
+    with pytest.raises(ValueError):
+        build_onslicing(variant="warp-speed")
+
+
+@pytest.mark.parametrize("variant,expect", [
+    ("nb", lambda cfg: not cfg.agent.switching.enabled),
+    ("ne", lambda cfg: not cfg.agent.switching.use_estimator),
+    ("est_noise",
+     lambda cfg: cfg.agent.switching.estimator_noise_std == 1.0),
+    ("projection", lambda cfg: cfg.agent.modifier.use_projection),
+    ("md_noise",
+     lambda cfg: cfg.agent.modifier.modifier_noise_std == 1.0),
+])
+def test_variant_config_wiring(variant, expect):
+    """Each ablation label flips exactly its switch in the config."""
+    cfg = ExperimentConfig(traffic=TrafficConfig(slots_per_episode=6))
+    bundle = build_onslicing(cfg, variant=variant,
+                             offline_episodes=1,
+                             exploration_episodes=1)
+    assert expect(bundle.cfg)

@@ -1,0 +1,202 @@
+"""Unit tests: container runtime, CUPS core network, edge servers."""
+
+import numpy as np
+import pytest
+
+from repro.config import CoreConfig, EdgeConfig
+from repro.sim.containers import ContainerRuntime
+from repro.sim.core_network import CoreNetwork
+from repro.sim.edge import EdgeServerPool
+
+
+class TestContainerRuntime:
+    def test_run_and_get(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("app", "image", cpu_share=0.5, ram_gb=4.0)
+        assert "app" in rt
+        assert rt.get("app").cpu_share == 0.5
+
+    def test_duplicate_name_rejected(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("app", "image")
+        with pytest.raises(ValueError):
+            rt.run("app", "image")
+
+    def test_update(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("app", "image", cpu_share=0.1)
+        rt.update("app", cpu_share=0.7, ram_gb=2.0)
+        assert rt.get("app").cpu_share == 0.7
+        assert rt.get("app").ram_gb == 2.0
+
+    def test_update_missing(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        with pytest.raises(KeyError):
+            rt.update("ghost", cpu_share=0.1)
+
+    def test_negative_update_rejected(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("app", "image")
+        with pytest.raises(ValueError):
+            rt.update("app", cpu_share=-0.1)
+
+    def test_accounting(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("a", "i", cpu_share=0.6, ram_gb=16.0)
+        rt.run("b", "i", cpu_share=0.5, ram_gb=20.0)
+        assert rt.allocated_cpu_share == pytest.approx(1.1)
+        assert rt.cpu_overcommitted()
+        assert rt.ram_overcommitted()
+        rt.stop("b")
+        assert not rt.cpu_overcommitted()
+
+    def test_by_label(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("a", "i", labels={"slice": "MAR"})
+        rt.run("b", "i", labels={"slice": "HVS"})
+        assert [c.name for c in rt.by_label("slice", "MAR")] == ["a"]
+
+    def test_remove(self):
+        rt = ContainerRuntime(8.0, 32.0)
+        rt.run("a", "i")
+        rt.remove("a")
+        assert "a" not in rt
+        with pytest.raises(KeyError):
+            rt.remove("a")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ContainerRuntime(0.0, 32.0)
+
+
+class TestCoreNetwork:
+    def _core(self):
+        core = CoreNetwork(CoreConfig())
+        core.create_slice_pool("MAR")
+        return core
+
+    def test_control_plane_vnfs_exist(self):
+        core = CoreNetwork()
+        for vnf in ("hss", "mme", "spgw-c"):
+            assert vnf in core.runtime
+
+    def test_pool_creation(self):
+        core = self._core()
+        pool = core.pool("MAR")
+        assert len(pool) == CoreConfig().num_sgwu_per_slice
+        for name in pool:
+            assert name in core.runtime
+
+    def test_duplicate_pool_rejected(self):
+        core = self._core()
+        with pytest.raises(ValueError):
+            core.create_slice_pool("MAR")
+
+    def test_round_robin_attachment(self):
+        core = self._core()
+        for i in range(4):
+            core.hss.provision(f"imsi{i}", "MAR")
+        sgwus = [core.attach(f"imsi{i}").sgwu_name for i in range(4)]
+        # strict alternation over the 2-instance pool
+        assert sgwus[0] == sgwus[2] and sgwus[1] == sgwus[3]
+        assert sgwus[0] != sgwus[1]
+
+    def test_attach_unknown_imsi(self):
+        core = self._core()
+        with pytest.raises(KeyError):
+            core.attach("nobody")
+
+    def test_double_attach_rejected(self):
+        core = self._core()
+        core.hss.provision("x", "MAR")
+        core.attach("x")
+        with pytest.raises(ValueError):
+            core.attach("x")
+
+    def test_detach(self):
+        core = self._core()
+        core.hss.provision("x", "MAR")
+        core.attach("x")
+        core.detach("x")
+        assert core.sessions_of("MAR") == []
+
+    def test_delete_pool_removes_sessions(self):
+        core = self._core()
+        core.hss.provision("x", "MAR")
+        core.attach("x")
+        core.delete_slice_pool("MAR")
+        assert core.sessions_of("MAR") == []
+        with pytest.raises(KeyError):
+            core.pool("MAR")
+
+    def test_evaluate_latency_grows_with_load(self):
+        core = self._core()
+        core.set_slice_resources("MAR", cpu_share=0.5, ram_gb=4.0)
+        light = core.evaluate("MAR", offered_rate_bps=1e6)
+        heavy = core.evaluate("MAR", offered_rate_bps=8e8)
+        assert heavy.latency_ms > light.latency_ms
+
+    def test_evaluate_zero_cpu_infinite(self):
+        core = self._core()
+        core.set_slice_resources("MAR", cpu_share=0.0, ram_gb=0.0)
+        report = core.evaluate("MAR", offered_rate_bps=1e6)
+        assert report.latency_ms == float("inf")
+
+    def test_hss_duplicate_provision(self):
+        core = self._core()
+        core.hss.provision("x", "MAR")
+        with pytest.raises(ValueError):
+            core.hss.provision("x", "MAR")
+
+
+class TestEdge:
+    def _pool(self):
+        pool = EdgeServerPool(EdgeConfig())
+        pool.create_server("MAR")
+        return pool
+
+    def test_create_duplicate_rejected(self):
+        pool = self._pool()
+        with pytest.raises(ValueError):
+            pool.create_server("MAR")
+
+    def test_latency_decreases_with_cpu(self):
+        pool = self._pool()
+        pool.set_resources("MAR", cpu_share=0.2, ram_share=0.5)
+        slow = pool.evaluate("MAR", offered_rate_ups=5.0)
+        pool.set_resources("MAR", cpu_share=0.8, ram_share=0.5)
+        fast = pool.evaluate("MAR", offered_rate_ups=5.0)
+        assert fast.latency_ms < slow.latency_ms
+
+    def test_ram_thrashing_penalty(self):
+        pool = self._pool()
+        pool.set_resources("MAR", cpu_share=0.5, ram_share=0.01)
+        starved = pool.evaluate("MAR", offered_rate_ups=10.0)
+        pool.set_resources("MAR", cpu_share=0.5, ram_share=0.5)
+        healthy = pool.evaluate("MAR", offered_rate_ups=10.0)
+        assert starved.ram_penalty < 1.0
+        assert healthy.ram_penalty == 1.0
+        assert starved.latency_ms > healthy.latency_ms
+
+    def test_zero_cpu_infinite_latency(self):
+        pool = self._pool()
+        pool.set_resources("MAR", cpu_share=0.0, ram_share=0.5)
+        report = pool.evaluate("MAR", offered_rate_ups=1.0)
+        assert report.latency_ms == float("inf")
+
+    def test_delete_server(self):
+        pool = self._pool()
+        pool.delete_server("MAR")
+        with pytest.raises(KeyError):
+            pool.evaluate("MAR", 1.0)
+
+    def test_shared_runtime_accounting(self):
+        """Core and edge co-located on one host share its capacity."""
+        runtime = ContainerRuntime(8.0, 32.0)
+        core = CoreNetwork(CoreConfig(), runtime=runtime)
+        edge = EdgeServerPool(EdgeConfig(), runtime=runtime)
+        core.create_slice_pool("MAR")
+        edge.create_server("MAR")
+        core.set_slice_resources("MAR", 0.4, 8.0)
+        edge.set_resources("MAR", 0.4, 0.25)
+        assert runtime.allocated_cpu_share > 0.7

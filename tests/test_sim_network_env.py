@@ -1,0 +1,205 @@
+"""Integration tests: the composed network and the RL environments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ExperimentConfig,
+    NUM_ACTIONS,
+    TrafficConfig,
+    default_slice_specs,
+    usage_from_action,
+)
+from repro.sim.env import (
+    STATE_DIM,
+    ScenarioSimulator,
+    SliceEnv,
+    constant_background,
+)
+from repro.sim.network import (
+    CONSTRAINED_RESOURCES,
+    EndToEndNetwork,
+    SliceAllocation,
+)
+
+
+class TestSliceAllocation:
+    def test_decodes_discrete_dims(self):
+        action = np.array([0.5, 1.0, 0.0, 0.5, 0.45, 0.99,
+                           0.5, 0.99, 0.5, 0.5])
+        alloc = SliceAllocation.from_action(action)
+        assert alloc.uplink_mcs_offset == 10
+        assert alloc.downlink_mcs_offset == 4  # round(0.45*10)
+        assert alloc.transport_path == 2
+
+    def test_floors_consumable_shares(self):
+        alloc = SliceAllocation.from_action(np.zeros(NUM_ACTIONS))
+        assert alloc.uplink_bandwidth == SliceAllocation.MIN_SHARE
+        assert alloc.transport_bandwidth == SliceAllocation.MIN_SHARE
+        assert alloc.cpu_allocation == SliceAllocation.MIN_SHARE
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            SliceAllocation.from_action(np.zeros(4))
+
+    def test_clips_out_of_box(self):
+        action = np.full(NUM_ACTIONS, 2.0)
+        alloc = SliceAllocation.from_action(action)
+        assert alloc.uplink_bandwidth == 1.0
+
+
+class TestEndToEndNetwork:
+    def test_slice_lifecycle(self, rng):
+        net = EndToEndNetwork(rng=rng)
+        spec = default_slice_specs()[0]
+        net.add_slice(spec)
+        assert spec.name in net.slice_names
+        assert len(net.core.sessions_of(spec.name)) == \
+            net.cfg.users_per_slice
+        net.remove_slice(spec.name)
+        assert spec.name not in net.slice_names
+
+    def test_duplicate_slice_rejected(self, rng):
+        net = EndToEndNetwork(rng=rng)
+        spec = default_slice_specs()[0]
+        net.add_slice(spec)
+        with pytest.raises(ValueError):
+            net.add_slice(spec)
+
+    def test_evaluate_requires_all_actions(self, rng):
+        net = EndToEndNetwork(slices=default_slice_specs(), rng=rng)
+        with pytest.raises(KeyError):
+            net.evaluate_slot({"MAR": np.full(NUM_ACTIONS, 0.5)},
+                              {"MAR": 1.0})
+
+    def test_over_request_accounting(self):
+        actions = {
+            "a": np.full(NUM_ACTIONS, 0.7),
+            "b": np.full(NUM_ACTIONS, 0.6),
+        }
+        over = EndToEndNetwork.over_request(actions)
+        for kind in CONSTRAINED_RESOURCES:
+            assert over[kind] == pytest.approx(0.3)
+
+    def test_generous_beats_starved(self, rng):
+        net = EndToEndNetwork(slices=default_slice_specs(), rng=rng)
+        generous = {n: np.array([.5, .6, .5, .5, .5, .5, .5, 0, .5, .5])
+                    for n in net.slice_names}
+        rates = {n: 0.5 * net.slices[n].max_arrival_rate
+                 for n in net.slice_names}
+        good = net.evaluate_slot(generous, rates)
+        starved = {n: np.full(NUM_ACTIONS, 0.011)
+                   for n in net.slice_names}
+        bad = net.evaluate_slot(starved, rates)
+        for name in net.slice_names:
+            assert good[name].cost <= bad[name].cost
+
+    def test_usage_matches_eq9(self, rng):
+        net = EndToEndNetwork(slices=default_slice_specs()[:1],
+                              rng=rng)
+        action = np.linspace(0.1, 1.0, NUM_ACTIONS)
+        reports = net.evaluate_slot({"MAR": action}, {"MAR": 1.0})
+        assert reports["MAR"].usage == pytest.approx(
+            usage_from_action(action))
+
+    def test_ping_delay_positive(self, rng):
+        net = EndToEndNetwork(slices=default_slice_specs(), rng=rng)
+        ping = net.ping_delay_ms("MAR")
+        assert 5.0 < ping < 100.0
+
+
+class TestScenarioSimulator:
+    def test_episode_runs_to_horizon(self, simulator):
+        simulator.reset()
+        actions = {n: np.full(NUM_ACTIONS, 0.4)
+                   for n in simulator.slice_names}
+        steps = 0
+        while not simulator.done:
+            simulator.step(actions)
+            steps += 1
+        assert steps == simulator.horizon
+        with pytest.raises(RuntimeError):
+            simulator.step(actions)
+
+    def test_observation_fields_normalised(self, simulator):
+        obs = simulator.reset()
+        actions = {n: np.full(NUM_ACTIONS, 0.4)
+                   for n in simulator.slice_names}
+        results = simulator.step(actions)
+        for name, result in results.items():
+            vec = result.observation.vector()
+            assert vec.shape == (STATE_DIM,)
+            assert np.all(np.isfinite(vec))
+            assert 0.0 <= result.observation.slot_fraction <= 1.0
+            assert 0.0 <= result.observation.channel_quality <= 1.0
+
+    def test_reward_is_negative_usage(self, simulator):
+        simulator.reset()
+        actions = {n: np.full(NUM_ACTIONS, 0.4)
+                   for n in simulator.slice_names}
+        results = simulator.step(actions)
+        for result in results.values():
+            assert result.reward == pytest.approx(-result.usage)
+
+    def test_sla_violation_flag(self, simulator):
+        simulator.reset()
+        starved = {n: np.full(NUM_ACTIONS, 0.011)
+                   for n in simulator.slice_names}
+        while not simulator.done:
+            simulator.step(starved)
+        assert simulator.sla_violated("MAR")
+
+    def test_reset_reproducible_with_seed(self):
+        cfg = ExperimentConfig(
+            traffic=TrafficConfig(slots_per_episode=8), seed=9)
+        a = ScenarioSimulator(cfg)
+        b = ScenarioSimulator(cfg)
+        obs_a = a.reset()
+        obs_b = b.reset()
+        for name in a.slice_names:
+            np.testing.assert_allclose(obs_a[name].vector(),
+                                       obs_b[name].vector())
+
+
+class TestSliceEnv:
+    def test_gym_like_loop(self, simulator):
+        env = SliceEnv(simulator, "MAR")
+        obs = env.reset()
+        assert obs.shape == (STATE_DIM,)
+        total_reward = 0.0
+        done = False
+        while not done:
+            obs, reward, cost, done, _result = env.step(
+                np.full(NUM_ACTIONS, 0.4))
+            total_reward += reward
+        assert total_reward < 0.0  # usage is always positive
+
+    def test_unknown_slice_rejected(self, simulator):
+        with pytest.raises(KeyError):
+            SliceEnv(simulator, "nope")
+
+    def test_background_policy_applied(self, simulator):
+        marker = np.full(NUM_ACTIONS, 0.31)
+        env = SliceEnv(simulator, "MAR",
+                       background=constant_background(marker))
+        env.reset()
+        _obs, _r, _c, _d, result = env.step(np.full(NUM_ACTIONS, 0.5))
+        # the background slices ran with the marker usage
+        assert result.report.slice_name == "MAR"
+
+    def test_constant_background_validates_shape(self):
+        with pytest.raises(ValueError):
+            constant_background(np.zeros(3))
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                min_size=NUM_ACTIONS, max_size=NUM_ACTIONS))
+@settings(max_examples=20, deadline=None)
+def test_allocation_decode_total_property(values):
+    """Decoded allocations stay inside physical bounds (property)."""
+    alloc = SliceAllocation.from_action(np.array(values))
+    assert 0.0 < alloc.uplink_bandwidth <= 1.0
+    assert 0 <= alloc.uplink_mcs_offset <= 10
+    assert 0 <= alloc.transport_path <= 2

@@ -1,0 +1,172 @@
+"""Unit tests: PHY tables, MCS offsets, BLER model, channel process."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MAX_MCS_OFFSET
+from repro.sim.channel import ChannelProcess
+from repro.sim.phy import (
+    CQI_TABLE,
+    MCS_TABLE,
+    NUM_CQI,
+    NUM_MCS,
+    PhyModel,
+    cqi_to_mcs,
+    mcs_spectral_efficiency,
+    snr_to_cqi,
+)
+
+
+class TestTables:
+    def test_cqi_table_monotone_efficiency(self):
+        effs = [row[2] for row in CQI_TABLE]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+
+    def test_cqi15_is_64qam(self):
+        bits, _rate, eff = CQI_TABLE[15]
+        assert bits == 6
+        assert eff == pytest.approx(5.5547)
+
+    def test_mcs_table_monotone(self):
+        assert all(b >= a for a, b in zip(MCS_TABLE, MCS_TABLE[1:]))
+
+    def test_cqi_to_mcs_range(self):
+        for cqi in range(1, NUM_CQI + 1):
+            mcs = cqi_to_mcs(cqi)
+            assert 0 <= mcs < NUM_MCS
+        assert cqi_to_mcs(15) == 28
+
+    def test_cqi_to_mcs_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cqi_to_mcs(0)
+        with pytest.raises(ValueError):
+            cqi_to_mcs(16)
+
+    def test_spectral_efficiency_rejects_bad_mcs(self):
+        with pytest.raises(ValueError):
+            mcs_spectral_efficiency(-1)
+        with pytest.raises(ValueError):
+            mcs_spectral_efficiency(NUM_MCS)
+
+    def test_snr_to_cqi_clipping(self):
+        assert snr_to_cqi(-100.0) == 1
+        assert snr_to_cqi(100.0) == NUM_CQI
+
+    def test_snr_to_cqi_monotone(self):
+        cqis = [snr_to_cqi(snr) for snr in np.linspace(-10, 30, 50)]
+        assert all(b >= a for a, b in zip(cqis, cqis[1:]))
+
+
+class TestPhyModel:
+    def test_offset_lowers_mcs(self):
+        phy = PhyModel()
+        assert phy.effective_mcs(15, 4) == cqi_to_mcs(15) - 4
+
+    def test_offset_clamps_at_zero(self):
+        phy = PhyModel()
+        assert phy.effective_mcs(1, MAX_MCS_OFFSET) == 0
+
+    def test_fixed_mcs_bypasses_cqi(self):
+        phy = PhyModel()
+        assert phy.effective_mcs(15, 0, fixed_mcs=9) == 9
+
+    def test_invalid_offset(self):
+        phy = PhyModel()
+        with pytest.raises(ValueError):
+            phy.effective_mcs(10, MAX_MCS_OFFSET + 1)
+
+    def test_retransmission_decays_with_offset(self):
+        phy = PhyModel()
+        for uplink in (True, False):
+            probs = [phy.retransmission_probability(o, uplink)
+                     for o in range(MAX_MCS_OFFSET + 1)]
+            assert all(b < a for a, b in zip(probs, probs[1:]))
+
+    def test_fig6_endpoints(self):
+        """The Fig. 6 anchor points: UL ~1e-1 -> ~1e-5, DL flatter."""
+        phy = PhyModel()
+        assert phy.retransmission_probability(0, True) == \
+            pytest.approx(0.12)
+        assert phy.retransmission_probability(10, True) < 5e-5
+        assert phy.retransmission_probability(0, False) == \
+            pytest.approx(0.015)
+        assert phy.retransmission_probability(10, False) > \
+            phy.retransmission_probability(10, True)
+
+    def test_channel_margin_shifts_curve(self):
+        phy = PhyModel()
+        better = phy.retransmission_probability(
+            0, True, channel_margin_db=6.0)
+        worse = phy.retransmission_probability(
+            0, True, channel_margin_db=-6.0)
+        assert better < phy.retransmission_probability(0, True) < worse
+
+    def test_link_quality_goodput_below_raw(self):
+        phy = PhyModel()
+        quality = phy.link_quality(10, 0, uplink=True)
+        assert quality.goodput_efficiency < \
+            quality.spectral_efficiency
+
+    def test_message_failure_harq_rounds(self):
+        phy = PhyModel()
+        one = phy.message_failure_probability(0, True, harq_rounds=1)
+        two = phy.message_failure_probability(0, True, harq_rounds=2)
+        assert two == pytest.approx(one ** 2)
+        with pytest.raises(ValueError):
+            phy.message_failure_probability(0, True, harq_rounds=0)
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            PhyModel(base_retx_ul=0.0)
+        with pytest.raises(ValueError):
+            PhyModel(uplink_bler_decay=1.5)
+
+
+class TestChannelProcess:
+    def test_population(self, rng):
+        chan = ChannelProcess(5, rng)
+        assert len(chan.users) == 5
+        assert chan.cqis.shape == (5,)
+
+    def test_invalid_population(self, rng):
+        with pytest.raises(ValueError):
+            ChannelProcess(0, rng)
+
+    def test_cqis_in_range(self, rng):
+        chan = ChannelProcess(10, rng)
+        for _ in range(50):
+            chan.step()
+            assert np.all(chan.cqis >= 1) and np.all(chan.cqis <= 15)
+
+    def test_normalized_quality_unit_interval(self, rng):
+        chan = ChannelProcess(4, rng)
+        for _ in range(20):
+            chan.step()
+            assert 0.0 < chan.normalized_quality() <= 1.0
+
+    def test_mean_reversion(self, rng):
+        """The AR(1) process stays near each user's mean SNR."""
+        chan = ChannelProcess(3, rng, mean_snr_db=18.0,
+                              snr_spread_db=0.0, correlation=0.9,
+                              innovation_std_db=1.0)
+        snrs = []
+        for _ in range(400):
+            chan.step()
+            snrs.append(chan.snrs_db.copy())
+        mean = np.mean(snrs)
+        assert abs(mean - 18.0) < 1.0
+
+    def test_invalid_correlation(self, rng):
+        with pytest.raises(ValueError):
+            ChannelProcess(3, rng, correlation=1.0)
+
+
+@given(st.integers(min_value=1, max_value=15),
+       st.integers(min_value=0, max_value=10))
+@settings(max_examples=50, deadline=None)
+def test_effective_mcs_bounded_property(cqi, offset):
+    phy = PhyModel()
+    mcs = phy.effective_mcs(cqi, offset)
+    assert 0 <= mcs <= cqi_to_mcs(cqi)
