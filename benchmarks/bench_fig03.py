@@ -11,8 +11,9 @@ from conftest import run_once
 from repro.experiments.figures import fig3
 
 
-def test_fig3(benchmark, bench_scale):
-    series = run_once(benchmark, fig3, scale=bench_scale)
+def test_fig3(benchmark, bench_scale, runner):
+    series = run_once(benchmark, fig3, scale=bench_scale,
+                    runner=runner)
     peak = max(series["drl_violation_pct"])
     print("\nFig. 3: DRL peak violation %.1f%% vs baseline %.1f%%; "
           "baseline usage %.1f%%" % (

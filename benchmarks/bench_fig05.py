@@ -6,11 +6,9 @@ achieve (nearly) the vanilla system's data rate in both directions.
 
 from conftest import run_once
 
-from repro.experiments.figures import fig5
 
-
-def test_fig5(benchmark):
-    series = run_once(benchmark, fig5)
+def test_fig5(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig5")
     print("\nFig. 5 (Mbps):", {k: {m: round(v, 1) for m, v in d.items()}
                                for k, d in series.items()})
     for key in ("dl_mbps", "ul_mbps"):

@@ -7,11 +7,9 @@ falls from ~1e-1 to ~1e-5 (steeper than the downlink).
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig6
 
-
-def test_fig6(benchmark):
-    series = run_once(benchmark, fig6)
+def test_fig6(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig6")
     ul = np.array(series["uplink"])
     dl = np.array(series["downlink"])
     print("\nFig. 6 retransmission probabilities:")

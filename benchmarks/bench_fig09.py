@@ -12,8 +12,9 @@ from conftest import run_once
 from repro.experiments.figures import fig9
 
 
-def test_fig9(benchmark, bench_scale):
-    series = run_once(benchmark, fig9, scale=bench_scale)
+def test_fig9(benchmark, bench_scale, runner):
+    series = run_once(benchmark, fig9, scale=bench_scale,
+                    runner=runner)
     ons_viol = np.mean(series["OnSlicing"]["violation_pct"])
     onrl_viol = np.mean(series["OnRL"]["violation_pct"])
     print("\nFig. 9: OnSlicing mean violation %.2f%% vs OnRL %.2f%%" %

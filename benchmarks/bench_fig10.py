@@ -7,12 +7,10 @@ baseline policy's level (from the randomly-initialised policy's level).
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig10
 
-
-def test_fig10(benchmark):
-    series = run_once(benchmark, fig10, bc_epochs=24,
-                      offline_episodes=3)
+def test_fig10(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig10",
+                      bc_epochs=24, offline_episodes=3)
     print("\nFig. 10 (usage %, per BC epoch):")
     for name in ("MAR", "HVS", "RDC"):
         curve = series[name]["cloned_usage_pct"]

@@ -10,8 +10,9 @@ from conftest import run_once
 from repro.experiments.figures import fig11
 
 
-def test_fig11(benchmark, bench_scale):
-    series = run_once(benchmark, fig11, scale=bench_scale)
+def test_fig11(benchmark, bench_scale, runner):
+    series = run_once(benchmark, fig11, scale=bench_scale,
+                    runner=runner)
     print("\nFig. 11 (per-slice usage %):")
     for name in ("MAR", "HVS", "RDC"):
         curve = series[name]["usage_pct"]

@@ -8,11 +8,10 @@ episode (paper: ~20 % -> ~35 %).
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig12
 
-
-def test_fig12(benchmark):
-    series = run_once(benchmark, fig12, spike_slot=12, spike_factor=6.0)
+def test_fig12(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig12",
+                      spike_slot=12, spike_factor=6.0)
     switch = series["switch_slots"]["HVS"]
     print("\nFig. 12: HVS switch slot:", switch,
           "| spike injected at", series["spike_slot"])

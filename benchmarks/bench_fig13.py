@@ -10,8 +10,9 @@ from conftest import run_once
 from repro.experiments.figures import fig13
 
 
-def test_fig13(benchmark, bench_scale):
-    series = run_once(benchmark, fig13, scale=bench_scale)
+def test_fig13(benchmark, bench_scale, runner):
+    series = run_once(benchmark, fig13, scale=bench_scale,
+                    runner=runner)
     means = {name: float(np.mean(series[name]))
              for name in ("OnSlicing-NB", "OnSlicing", "OnSlicing-NE")}
     print("\nFig. 13 mean violation %:", {k: round(v, 2)

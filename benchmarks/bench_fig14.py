@@ -7,11 +7,9 @@ so the average resource usage decreases for every slice.
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig14
 
-
-def test_fig14(benchmark):
-    series = run_once(benchmark, fig14)
+def test_fig14(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig14")
     print("\nFig. 14 usage %% per beta %s:" % (series["betas"],))
     for name, curve in series["usage_pct"].items():
         print(f"  {name}: {[round(u, 1) for u in curve]}")

@@ -8,11 +8,11 @@ MCS offsets (U_m/U_s).
 from conftest import run_once
 
 from repro.config import ACTION_NAMES
-from repro.experiments.figures import fig15
 
 
-def test_fig15(benchmark, bench_scale):
-    series = run_once(benchmark, fig15, scale=bench_scale)
+def test_fig15(benchmark, bench_scale, runner):
+    series = run_once(benchmark, runner.run_figure, "fig15",
+                      scale=bench_scale)
     idx = {name: i for i, name in enumerate(ACTION_NAMES)}
     alloc = series["allocations_pct"]
     print("\nFig. 15 mean allocations (%):")

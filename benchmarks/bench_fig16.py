@@ -6,11 +6,10 @@ Paper shape: NR averages ~12 ms, a substantial reduction from LTE's
 
 from conftest import run_once
 
-from repro.experiments.figures import fig16
 
-
-def test_fig16(benchmark):
-    series = run_once(benchmark, fig16, samples=300)
+def test_fig16(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig16",
+                      samples=300)
     print("\nFig. 16: ping mean LTE %.1f ms, NR %.1f ms" %
           (series["LTE_mean_ms"], series["NR_mean_ms"]))
     assert series["NR_mean_ms"] < series["LTE_mean_ms"]

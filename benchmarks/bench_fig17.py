@@ -8,11 +8,9 @@ because the fixed-rate stream does not saturate the downlink.
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig17
 
-
-def test_fig17(benchmark):
-    series = run_once(benchmark, fig17, episodes=1)
+def test_fig17(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig17", episodes=1)
     means = {key: float(np.mean(val["x"]))
              for key, val in series.items()}
     print("\nFig. 17 mean satisfaction p/P:",

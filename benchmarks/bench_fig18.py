@@ -7,12 +7,10 @@ population; the agent is not retrained between load levels.
 
 from conftest import run_once
 
-from repro.experiments.figures import fig18
 
-
-def test_fig18(benchmark, bench_scale):
-    series = run_once(benchmark, fig18, scale=bench_scale,
-                      user_counts=(1, 10, 20, 30))
+def test_fig18(benchmark, bench_scale, runner):
+    series = run_once(benchmark, runner.run_figure, "fig18",
+                      scale=bench_scale, user_counts=(1, 10, 20, 30))
     print("\nFig. 18 users -> usage%% / violation%%:")
     for u, usage, viol in zip(series["users"], series["usage_pct"],
                               series["violation_pct"]):

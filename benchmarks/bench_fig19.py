@@ -7,11 +7,10 @@ managers stays low (~2-3) as the slice count grows from 9 to 27.
 import numpy as np
 from conftest import run_once
 
-from repro.experiments.figures import fig19
 
-
-def test_fig19(benchmark):
-    series = run_once(benchmark, fig19, slice_counts=(9, 15, 21, 27),
+def test_fig19(benchmark, runner):
+    series = run_once(benchmark, runner.run_figure, "fig19",
+                      slice_counts=(9, 15, 21, 27),
                       episodes=1)
     print("\nFig. 19 slices -> interactions:",
           dict(zip(series["slices"], [round(i, 2)

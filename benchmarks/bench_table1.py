@@ -13,8 +13,9 @@ from conftest import run_once
 from repro.experiments.tables import table1
 
 
-def test_table1(benchmark, bench_scale):
-    rows = run_once(benchmark, table1, scale=bench_scale)
+def test_table1(benchmark, bench_scale, runner):
+    rows = run_once(benchmark, table1, scale=bench_scale,
+                    runner=runner)
     print("\nTable 1 (test performance):")
     for name, row in rows.items():
         print(f"  {name:<12} usage {row['avg_res_usage_pct']:6.2f}% "

@@ -12,8 +12,9 @@ from conftest import run_once
 from repro.experiments.tables import table2
 
 
-def test_table2(benchmark, bench_scale):
-    rows = run_once(benchmark, table2, scale=bench_scale)
+def test_table2(benchmark, bench_scale, runner):
+    rows = run_once(benchmark, table2, scale=bench_scale,
+                    runner=runner)
     print("\nTable 2 (baseline switching ablation, online phase):")
     for name, row in rows.items():
         print(f"  {name:<22} usage {row['avg_res_usage_pct']:6.2f}% "

@@ -13,8 +13,9 @@ from conftest import run_once
 from repro.experiments.tables import table3
 
 
-def test_table3(benchmark, bench_scale):
-    rows = run_once(benchmark, table3, scale=bench_scale)
+def test_table3(benchmark, bench_scale, runner):
+    rows = run_once(benchmark, table3, scale=bench_scale,
+                    runner=runner)
     print("\nTable 3 (action modification, online phase):")
     for name, row in rows.items():
         print(f"  {name:<24} usage {row['avg_res_usage_pct']:6.2f}% "

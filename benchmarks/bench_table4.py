@@ -11,8 +11,9 @@ from conftest import run_once
 from repro.experiments.tables import table4
 
 
-def test_table4(benchmark, bench_scale):
-    rows = run_once(benchmark, table4, scale=bench_scale)
+def test_table4(benchmark, bench_scale, runner):
+    rows = run_once(benchmark, table4, scale=bench_scale,
+                    runner=runner)
     print("\nTable 4 (4G LTE vs 5G NSA, fixed MCS 9):")
     for name, row in rows.items():
         print(f"  {name:<8} usage {row['avg_res_usage_pct']:6.2f}% "

@@ -6,11 +6,25 @@ executes exactly once (``pedantic`` with one round/iteration) and the
 measured time is the end-to-end wall time of regenerating the artefact.
 Scales are shortened-but-faithful schedules; EXPERIMENTS.md records the
 mapping to the paper's full schedules.
+
+All work is submitted through a shared
+:class:`repro.runtime.runner.ParallelRunner`:
+
+* ``REPRO_BENCH_WORKERS`` -- worker processes per artefact (``auto``
+  for cpu_count - 1; default ``1``, the deterministic in-process path);
+* ``REPRO_CACHE_DIR`` -- enables the on-disk result cache, so re-runs
+  only recompute units whose config/seed/code version changed.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.cli import parse_workers
+from repro.runtime.runner import ParallelRunner
 
 #: Default schedule scale for learning-based artefacts.  0.1 of the
 #: paper-equivalent epochs keeps the full suite under ~20 minutes while
@@ -27,3 +41,22 @@ def run_once(benchmark, fn, *args, **kwargs):
 @pytest.fixture
 def bench_scale():
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The suite-wide experiment runner (see module docstring).
+
+    Caching is opt-in (``REPRO_CACHE_DIR``): different artefacts share
+    some unit keys (e.g. Fig. 3 and Fig. 9 train the same OnRL unit),
+    and serving those from cache would silently deflate the measured
+    end-to-end regeneration times.
+    """
+    count = parse_workers(os.environ.get("REPRO_BENCH_WORKERS", "1"),
+                          option="REPRO_BENCH_WORKERS")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    runner = ParallelRunner(workers=count,
+                            cache=ResultCache(cache_dir or None),
+                            use_cache=bool(cache_dir))
+    yield runner
+    runner.close()

@@ -13,7 +13,11 @@ Most users need three entry points:
 >>> from repro.experiments.harness import (
 ...     build_onslicing, run_online_phase, test_performance)
 
-See README.md for the tour and DESIGN.md for the system inventory.
+or the CLI: ``python -m repro run table1 --workers 4`` regenerates any
+paper artefact through the parallel, cached runtime
+(:mod:`repro.runtime`).  See README.md for the tour,
+docs/ARCHITECTURE.md for the layer map, and EXPERIMENTS.md for the
+benchmark-to-paper mapping.
 """
 
 from repro.config import (

@@ -66,6 +66,14 @@ class OnRLAgent:
                          **decision}
         return decision["action"]
 
+    def discard_pending(self) -> None:
+        """Drop the transition staged by :meth:`act` without learning.
+
+        Evaluation rollouts call this after every deterministic step so
+        test actions never enter the training buffer.
+        """
+        self._pending = None
+
     def observe(self, reward: float, cost: float) -> None:
         """Record the outcome of the last action (reward shaping here)."""
         if self._pending is None:

@@ -10,6 +10,12 @@ All generators accept a ``scale`` knob: ``scale=1.0`` approximates the
 paper's schedules; the benchmark suite uses smaller scales so the whole
 suite completes offline.  EXPERIMENTS.md records paper-vs-measured for
 each artefact.
+
+Tables and fan-out figures also accept a ``runner``
+(:class:`repro.runtime.runner.ParallelRunner`): they decompose into
+independent experiment units that are cached content-addressed and can
+execute across worker processes -- ``python -m repro run <artefact>``
+is the CLI front door.
 """
 
 from repro.experiments.metrics import MethodResult, TrajectoryPoint

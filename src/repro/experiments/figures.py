@@ -3,6 +3,14 @@
 Every function returns plain dict/array series -- the same data the
 paper plots -- so benchmarks can assert on shapes and EXPERIMENTS.md
 can record paper-vs-measured values without a plotting dependency.
+
+The multi-method figures (3, 9, 11, 13) decompose into experiment
+units and accept a ``runner`` for parallel, cached execution, exactly
+like :mod:`repro.experiments.tables`.  The remaining figures are
+single self-contained runs; the CLI and benchmarks execute them as
+whole-figure units via
+:meth:`repro.runtime.runner.ParallelRunner.run_figure`, which caches
+their series dicts the same way.
 """
 
 from __future__ import annotations
@@ -24,17 +32,14 @@ from repro.config import (
 from repro.core.orchestrator import coordinate_actions
 from repro.domains.coordinator import ParameterCoordinator
 from repro.experiments.harness import (
-    OnSlicingBundle,
     build_onslicing,
-    evaluate_static_policies,
     fit_baselines,
-    make_model_based_policies,
     run_online_phase,
-    run_onrl_phase,
-    test_performance,
 )
 from repro.experiments.metrics import cdf, usage_percent
 from repro.rl.behavior_cloning import BehaviorCloningTrainer
+from repro.runtime.runner import ParallelRunner
+from repro.runtime.units import make_unit
 from repro.rl.ppo import GaussianActorCritic
 from repro.sim.channel import ChannelProcess
 from repro.sim.env import ScenarioSimulator
@@ -51,18 +56,21 @@ def _schedule(scale: float, full: int) -> int:
 
 
 def fig3(scale: float = 0.25,
-         cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+         cfg: Optional[ExperimentConfig] = None,
+         runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
     """Fig. 3(a)/(b): unsafe fixed-penalty DRL vs the baseline.
 
     Paper shape: the DRL agent exceeds 30 % violation during online
     learning while the baseline stays at zero, and the DRL agent's
     usage starts far above the baseline before undercutting it.
     """
-    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
-    onrl = run_onrl_phase(cfg, epochs=epochs, episodes_per_epoch=2)
-    baselines = fit_baselines(cfg)
-    base = evaluate_static_policies(cfg, baselines, episodes=2)
+    onrl, base = runner.run([
+        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=2),
+        make_unit("baseline", cfg=cfg, episodes=2),
+    ])
     return {
         "drl_violation_pct": [100.0 * p.violation_rate
                               for p in onrl.trajectory],
@@ -125,23 +133,25 @@ def fig6() -> Dict[str, List[float]]:
 
 
 def fig9(scale: float = 0.25,
-         cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+         cfg: Optional[ExperimentConfig] = None,
+         runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
     """Fig. 9: learning trajectories (usage vs violation) per method.
 
     Paper shape: OnRL starts top-right (high usage, high violation) and
     wanders; OnSlicing's trajectory slides left along the near-zero-
     violation axis; Baseline and Model_Based are fixed points.
     """
-    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
-    bundle = build_onslicing(cfg)
-    ons = run_online_phase(bundle, epochs=epochs, episodes_per_epoch=2)
-    onrl = run_onrl_phase(cfg, epochs=epochs, episodes_per_epoch=2)
-    baselines = fit_baselines(cfg)
-    base = evaluate_static_policies(cfg, baselines, episodes=2)
-    model = evaluate_static_policies(
-        cfg, make_model_based_policies(cfg), episodes=2,
-        method="Model_Based")
+    ons_result, onrl, base, model = runner.run([
+        make_unit("onslicing", cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=2, test_episodes=0),
+        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=2),
+        make_unit("baseline", cfg=cfg, episodes=2),
+        make_unit("model_based", cfg=cfg, episodes=2),
+    ])
+    ons = ons_result.trajectory
     return {
         "OnSlicing": {
             "usage_pct": [usage_percent(p.mean_usage) for p in ons],
@@ -204,15 +214,18 @@ def fig10(cfg: Optional[ExperimentConfig] = None,
 
 
 def fig11(scale: float = 0.25,
-          cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+          cfg: Optional[ExperimentConfig] = None,
+          runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
     """Fig. 11: per-slice online curves -- usage falls, violation ~0."""
-    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
+    slices = (cfg or ExperimentConfig()).slices
     epochs = _schedule(scale, 75)
-    bundle = build_onslicing(cfg)
-    trajectory = run_online_phase(bundle, epochs=epochs,
-                                  episodes_per_epoch=2)
+    result = runner.run_unit(
+        make_unit("onslicing", cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=2, test_episodes=0))
+    trajectory = result.trajectory
     out: Dict[str, object] = {"epochs": [p.epoch for p in trajectory]}
-    for spec in cfg.slices:
+    for spec in slices:
         out[spec.name] = {
             "usage_pct": [usage_percent(
                 p.per_slice_usage.get(spec.name, 0.0))
@@ -284,22 +297,26 @@ def fig12(cfg: Optional[ExperimentConfig] = None,
 
 
 def fig13(scale: float = 0.25,
-          cfg: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+          cfg: Optional[ExperimentConfig] = None,
+          runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
     """Fig. 13: violation curves of the switching variants.
 
     Paper shape: OnSlicing-NB worst, OnSlicing-NE intermediate, full
     OnSlicing near zero throughout.
     """
-    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
-    out: Dict[str, object] = {}
-    for variant, label in (("nb", "OnSlicing-NB"),
-                           ("full", "OnSlicing"),
-                           ("ne", "OnSlicing-NE")):
-        bundle = build_onslicing(cfg, variant=variant)
-        trajectory = run_online_phase(bundle, epochs=epochs,
-                                      episodes_per_epoch=2)
-        out[label] = [100.0 * p.violation_rate for p in trajectory]
+    labels = {"nb": "OnSlicing-NB", "full": "OnSlicing",
+              "ne": "OnSlicing-NE"}
+    results = runner.run([
+        make_unit("onslicing", variant=variant, cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=2, test_episodes=0)
+        for variant in labels
+    ])
+    out: Dict[str, object] = {
+        label: [100.0 * p.violation_rate for p in result.trajectory]
+        for label, result in zip(labels.values(), results)
+    }
     out["epochs"] = list(range(epochs))
     return out
 

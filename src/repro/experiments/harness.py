@@ -10,8 +10,9 @@ describes and exposes three phases:
 * ``test_performance``  -- deterministic post-convergence evaluation
   (Table 1's "test performances").
 
-Baseline policies are cached per (slice, network) so the grid search
-runs once per process.
+Baseline policies go through the shared runtime result cache so the
+grid search runs once per process -- and once per *machine* when a
+cache directory is configured (see :mod:`repro.runtime.cache`).
 """
 
 from __future__ import annotations
@@ -47,20 +48,44 @@ from repro.experiments.metrics import (
 from repro.sim.env import STATE_DIM, ScenarioSimulator
 from repro.sim.network import EndToEndNetwork
 
-_BASELINE_CACHE: Dict[str, RuleBasedPolicy] = {}
-
 
 def fit_baselines(cfg: ExperimentConfig,
                   use_cache: bool = True) -> Dict[str, RuleBasedPolicy]:
-    """Grid-search the rule-based baseline for every slice (cached)."""
+    """Grid-search the rule-based baseline for every slice (cached).
+
+    Fitted policies go through the shared runtime result cache
+    (:func:`repro.runtime.cache.shared_cache`), keyed by the slice
+    spec, the network config and the code version: repeated calls in
+    one process return the same objects, and when a disk directory is
+    configured (CLI runs, parallel workers) the grid search is shared
+    across processes as well.
+    """
+    # Imported here, not at module top: repro.runtime.serialization
+    # depends on this package, so a top-level import would be circular.
+    from repro.runtime.cache import (
+        MISSING,
+        code_version,
+        content_key,
+        shared_cache,
+    )
+
     policies = {}
+    cache = shared_cache()
     for spec in cfg.slices:
-        key = f"{spec.name}|{spec.app}|{cfg.network}"
-        if use_cache and key in _BASELINE_CACHE:
-            policies[spec.name] = _BASELINE_CACHE[key]
-            continue
+        key = content_key({
+            "kind": "rule_based_policy",
+            "slice": dataclasses.asdict(spec),
+            "network": dataclasses.asdict(cfg.network),
+            "code_version": code_version(),
+        })
+        if use_cache:
+            hit = cache.fetch(key)
+            if hit is not MISSING:
+                policies[spec.name] = hit
+                continue
         policy = fit_rule_based_policy(spec, cfg.network)
-        _BASELINE_CACHE[key] = policy
+        if use_cache:
+            cache.put(key, policy)
         policies[spec.name] = policy
     return policies
 
@@ -310,7 +335,7 @@ def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
                 for name, agent in agents.items()
             }
             for agent in agents.values():
-                agent._pending = None  # test only, no learning
+                agent.discard_pending()  # test only, no learning
             actions = project_actions(proposals)
             results = simulator.step(actions)
             for name, result in results.items():

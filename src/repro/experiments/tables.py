@@ -4,43 +4,57 @@ Each function returns a dict of rows keyed by method/variant name.
 ``scale`` in (0, 1] shrinks the training schedule proportionally so the
 benchmark suite completes offline; EXPERIMENTS.md records the schedule
 used for the committed numbers.
+
+Every table decomposes into independent experiment units -- one
+``(method, variant, scenario, seed)`` tuple each -- submitted through a
+:class:`~repro.runtime.runner.ParallelRunner`.  Pass ``runner`` to fan
+the units out over worker processes and/or serve them from the result
+cache; the default is an in-process runner, which produces identical
+metrics (unit execution is deterministic given the unit).
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, Optional
 
-import numpy as np
-
-from repro.config import (
-    ExperimentConfig,
-    NetworkConfig,
-    RANConfig,
-    lte_ran_config,
-    nr_ran_config,
-)
-from repro.experiments.harness import (
-    build_onslicing,
-    evaluate_static_policies,
-    fit_baselines,
-    make_model_based_policies,
-    run_online_phase,
-    run_onrl_phase,
-    test_performance,
-)
-from repro.experiments.metrics import (
-    MethodResult,
-    online_phase_summary,
-)
+from repro.config import ExperimentConfig
+from repro.runtime.runner import ParallelRunner
+from repro.runtime.units import make_unit
 
 
 def _schedule(scale: float, full_epochs: int) -> int:
     return max(int(round(full_epochs * scale)), 2)
 
 
+def _online_phase_rows(runner: ParallelRunner, labels: Dict[str, str],
+                       cfg: Optional[ExperimentConfig], epochs: int,
+                       interactions: bool = False) -> Dict[str, dict]:
+    """Fan variant units out and assemble online-phase metric rows.
+
+    ``labels`` maps OnSlicing variant -> display label (Tables 2/3);
+    ``interactions`` adds the Table-3 ``interact_num`` column.
+    """
+    units = [make_unit("onslicing", variant=variant, cfg=cfg,
+                       epochs=epochs, episodes_per_epoch=3,
+                       test_episodes=0)
+             for variant in labels]
+    results = runner.run(units)
+    rows: Dict[str, dict] = {}
+    for label, result in zip(labels.values(), results):
+        row = {
+            "method": label,
+            "avg_res_usage_pct": round(result.avg_resource_usage, 2),
+            "avg_sla_violation_pct": round(result.avg_sla_violation, 2),
+        }
+        if interactions:
+            row["interact_num"] = round(result.mean_interactions, 2)
+        rows[label] = row
+    return rows
+
+
 def table1(scale: float = 0.25,
-           cfg: Optional[ExperimentConfig] = None) -> Dict[str, dict]:
+           cfg: Optional[ExperimentConfig] = None,
+           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
     """Table 1: test usage/violation of all four methods.
 
     Paper: OnSlicing 20.19/0.00, OnRL 23.08/15.40, Baseline 52.18/0.00,
@@ -48,57 +62,38 @@ def table1(scale: float = 0.25,
     usage at zero violation; OnRL between OnSlicing and Baseline with a
     substantial violation; Model_Based the most expensive and violating.
     """
-    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
     epochs = _schedule(scale, 60)
-    rows: Dict[str, dict] = {}
-
-    bundle = build_onslicing(cfg)
-    run_online_phase(bundle, epochs=epochs, episodes_per_epoch=3)
-    rows["OnSlicing"] = test_performance(bundle).row()
-
-    onrl = run_onrl_phase(cfg, epochs=epochs, episodes_per_epoch=3)
-    rows["OnRL"] = onrl.row()
-
-    baselines = fit_baselines(cfg)
-    rows["Baseline"] = evaluate_static_policies(
-        cfg, baselines, method="Baseline").row()
-
-    model_based = make_model_based_policies(cfg)
-    rows["Model_Based"] = evaluate_static_policies(
-        cfg, model_based, method="Model_Based").row()
-    return rows
+    units = [
+        make_unit("onslicing", cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=3),
+        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
+                  episodes_per_epoch=3),
+        make_unit("baseline", cfg=cfg),
+        make_unit("model_based", cfg=cfg),
+    ]
+    results = runner.run(units)
+    return {result.method: result.row() for result in results}
 
 
 def table2(scale: float = 0.25,
-           cfg: Optional[ExperimentConfig] = None) -> Dict[str, dict]:
+           cfg: Optional[ExperimentConfig] = None,
+           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
     """Table 2: online-phase averages of switching variants.
 
     Paper: OnSlicing 29.07/0.06, -NE 30.81/0.33, -NB 29.64/2.94,
     Est.Noise 52.91/1.03.  Expected shape: NB worst violation, NE in
     between, Est.Noise usage near the baseline's (frequent switching).
     """
-    cfg = cfg or ExperimentConfig()
-    epochs = _schedule(scale, 40)
-    rows: Dict[str, dict] = {}
-    for variant, label in (("full", "OnSlicing"),
-                           ("ne", "OnSlicing-NE"),
-                           ("nb", "OnSlicing-NB"),
-                           ("est_noise", "OnSlicing Est. Noise")):
-        bundle = build_onslicing(cfg, variant=variant)
-        trajectory = run_online_phase(bundle, epochs=epochs,
-                                      episodes_per_epoch=3)
-        summary = online_phase_summary(trajectory)
-        rows[label] = {
-            "method": label,
-            "avg_res_usage_pct": round(summary["avg_res_usage_pct"], 2),
-            "avg_sla_violation_pct": round(
-                summary["avg_sla_violation_pct"], 2),
-        }
-    return rows
+    labels = {"full": "OnSlicing", "ne": "OnSlicing-NE",
+              "nb": "OnSlicing-NB", "est_noise": "OnSlicing Est. Noise"}
+    return _online_phase_rows(runner or ParallelRunner(), labels,
+                              cfg, _schedule(scale, 40))
 
 
 def table3(scale: float = 0.25,
-           cfg: Optional[ExperimentConfig] = None) -> Dict[str, dict]:
+           cfg: Optional[ExperimentConfig] = None,
+           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
     """Table 3: action-modification methods.
 
     Paper: OnSlicing 20.2/0.00/1.83 interactions, projection
@@ -106,48 +101,34 @@ def table3(scale: float = 0.25,
     projection slightly cheaper but violating; modifier noise increases
     both usage and violation yet stays below projection's violation.
     """
-    cfg = cfg or ExperimentConfig()
-    epochs = _schedule(scale, 40)
-    rows: Dict[str, dict] = {}
-    for variant, label in (("full", "OnSlicing"),
-                           ("projection", "OnSlicing-projection"),
-                           ("md_noise", "OnSlicing Md. Noise")):
-        bundle = build_onslicing(cfg, variant=variant)
-        trajectory = run_online_phase(bundle, epochs=epochs,
-                                      episodes_per_epoch=3)
-        summary = online_phase_summary(trajectory)
-        rows[label] = {
-            "method": label,
-            "avg_res_usage_pct": round(summary["avg_res_usage_pct"], 2),
-            "avg_sla_violation_pct": round(
-                summary["avg_sla_violation_pct"], 2),
-            "interact_num": round(summary["mean_interactions"], 2),
-        }
-    return rows
+    labels = {"full": "OnSlicing",
+              "projection": "OnSlicing-projection",
+              "md_noise": "OnSlicing Md. Noise"}
+    return _online_phase_rows(runner or ParallelRunner(), labels,
+                              cfg, _schedule(scale, 40),
+                              interactions=True)
 
 
-def table4(scale: float = 0.25) -> Dict[str, dict]:
+def table4(scale: float = 0.25,
+           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
     """Table 4: OnSlicing in 4G LTE vs 5G NSA with fixed MCS 9.
 
     Paper: 5G NR 43.5/0.00, 4G LTE 45.9/0.66.  Expected shape: both
     need far more radio resource than the link-adapted Table 1 runs;
     LTE slightly worse on both metrics (lower capacity, higher delay).
     """
+    runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
-    rows: Dict[str, dict] = {}
-    for label, ran in (("5G NR", nr_ran_config()),
-                       ("4G LTE", lte_ran_config())):
-        ran = dataclasses.replace(ran, fixed_mcs=9)
-        cfg = ExperimentConfig(
-            network=NetworkConfig(ran=ran))
-        bundle = build_onslicing(cfg)
-        trajectory = run_online_phase(bundle, epochs=epochs,
-                                      episodes_per_epoch=2)
-        summary = online_phase_summary(trajectory)
-        rows[label] = {
+    scenarios = {"nr_fixed_mcs": "5G NR", "lte_fixed_mcs": "4G LTE"}
+    units = [make_unit("onslicing", scenario=scenario, epochs=epochs,
+                       episodes_per_epoch=2, test_episodes=0)
+             for scenario in scenarios]
+    results = runner.run(units)
+    return {
+        label: {
             "method": label,
-            "avg_res_usage_pct": round(summary["avg_res_usage_pct"], 2),
-            "avg_sla_violation_pct": round(
-                summary["avg_sla_violation_pct"], 2),
+            "avg_res_usage_pct": round(result.avg_resource_usage, 2),
+            "avg_sla_violation_pct": round(result.avg_sla_violation, 2),
         }
-    return rows
+        for label, result in zip(scenarios.values(), results)
+    }

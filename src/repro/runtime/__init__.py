@@ -1,0 +1,57 @@
+"""Parallel experiment runtime: units, runner, result cache, CLI.
+
+The paper's evaluation decomposes into independent *experiment units*
+-- one ``(method, variant, scenario, seed)`` tuple each.  This package
+schedules those units:
+
+* :mod:`repro.runtime.units` -- the unit dataclass, named scenarios,
+  and the top-level :func:`~repro.runtime.units.execute_unit` workers
+  run;
+* :mod:`repro.runtime.runner` -- :class:`ParallelRunner`, which serves
+  units cache-first and fans misses out over worker processes;
+* :mod:`repro.runtime.cache` -- the content-keyed two-layer result
+  cache (hash of config + variant + seed + params + code version);
+* :mod:`repro.runtime.serialization` -- lossless JSON encoding of
+  result objects for the disk layer;
+* :mod:`repro.runtime.cli` -- the ``python -m repro`` entry point.
+
+See docs/ARCHITECTURE.md for how this layer sits above the experiments
+harness.
+"""
+
+from repro.runtime.cache import (
+    MISSING,
+    ResultCache,
+    code_version,
+    configure_shared_cache,
+    content_key,
+    pin_code_version,
+    shared_cache,
+)
+from repro.runtime.runner import ParallelRunner, RunSummary, \
+    default_workers
+from repro.runtime.units import (
+    ExperimentUnit,
+    execute_unit,
+    make_figure_unit,
+    make_unit,
+    unit_cache_key,
+)
+
+__all__ = [
+    "MISSING",
+    "ExperimentUnit",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSummary",
+    "code_version",
+    "configure_shared_cache",
+    "content_key",
+    "default_workers",
+    "execute_unit",
+    "make_figure_unit",
+    "make_unit",
+    "pin_code_version",
+    "shared_cache",
+    "unit_cache_key",
+]

@@ -1,0 +1,229 @@
+"""``python -m repro`` -- list and run the paper's artefacts.
+
+Subcommands
+-----------
+``list``
+    Show every runnable artefact (tables 1-4, figures 3-19) and how it
+    decomposes into experiment units.
+``run ARTEFACT [ARTEFACT ...]``
+    Regenerate artefacts through the shared
+    :class:`~repro.runtime.runner.ParallelRunner`: ``--workers`` fans
+    units out over processes, ``--scale`` shortens the training
+    schedules, and results are served from the on-disk cache
+    (``--cache-dir``, default ``.repro_cache``) whenever the same
+    config/seed/code version was computed before.  ``run all`` sweeps
+    everything.
+``cache``
+    Inspect (``info``) or drop (``clear``) the on-disk result cache.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run table1 --workers 4 --scale 0.1
+    python -m repro run fig13 fig16 --json
+    python -m repro cache clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.cache import configure_shared_cache
+from repro.runtime.runner import ParallelRunner, default_workers
+from repro.runtime.serialization import to_jsonable
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+DEFAULT_SCALE = 0.1
+
+
+@dataclass(frozen=True)
+class Artefact:
+    """One runnable paper artefact and how to regenerate it."""
+
+    name: str
+    description: str
+    #: "fanout" generators take (scale, runner) and decompose into
+    #: method units; "figure" artefacts run as one whole-figure unit.
+    kind: str
+    scaled: bool = True
+
+
+ARTEFACTS: Dict[str, Artefact] = {a.name: a for a in (
+    Artefact("table1", "test usage/violation of all four methods",
+             "fanout"),
+    Artefact("table2", "online averages of the switching variants",
+             "fanout"),
+    Artefact("table3", "action-modification methods", "fanout"),
+    Artefact("table4", "OnSlicing on 4G LTE vs 5G NR (fixed MCS 9)",
+             "fanout"),
+    Artefact("fig3", "unsafe fixed-penalty DRL vs the baseline",
+             "fanout"),
+    Artefact("fig5", "slice rates under RDM vs vanilla", "figure",
+             scaled=False),
+    Artefact("fig6", "retransmission probability vs MCS offset",
+             "figure", scaled=False),
+    Artefact("fig9", "usage-vs-violation learning trajectories",
+             "fanout"),
+    Artefact("fig10", "offline imitation usage curves", "figure",
+             scaled=False),
+    Artefact("fig11", "per-slice online curves", "fanout"),
+    Artefact("fig12", "proactive switching under a traffic anomaly",
+             "figure", scaled=False),
+    Artefact("fig13", "violation curves of switching variants",
+             "fanout"),
+    Artefact("fig14", "usage under fixed coordinating parameters",
+             "figure", scaled=False),
+    Artefact("fig15", "per-resource converged allocations", "figure"),
+    Artefact("fig16", "ping-delay CDF, LTE vs NR", "figure",
+             scaled=False),
+    Artefact("fig17", "slice performance CDF, LTE vs NR", "figure",
+             scaled=False),
+    Artefact("fig18", "MAR user scale-up", "figure"),
+    Artefact("fig19", "coordination rounds vs slice count", "figure",
+             scaled=False),
+)}
+
+
+def _generator(name: str) -> Callable[..., Any]:
+    from repro.experiments import figures, tables
+
+    module = tables if name.startswith("table") else figures
+    return getattr(module, name)
+
+
+def run_artefact(name: str, runner: ParallelRunner,
+                 scale: float) -> Any:
+    spec = ARTEFACTS[name]
+    if spec.kind == "fanout":
+        return _generator(name)(scale=scale, runner=runner)
+    kwargs = {"scale": scale} if spec.scaled else {}
+    return runner.run_figure(name, **kwargs)
+
+
+def _print_result(name: str, result: Any) -> None:
+    print(f"== {name} ==")
+    if isinstance(result, dict) and result and all(
+            isinstance(v, dict) and "method" in v
+            for v in result.values()):
+        for row in result.values():  # a table: aligned metric rows
+            cells = "  ".join(f"{k}={v}" for k, v in row.items()
+                              if k != "method")
+            print(f"  {row['method']:<24} {cells}")
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            text = repr(value)
+            if len(text) > 60:
+                text = f"{text[:57]}..."
+            print(f"  {key}: {text}")
+    else:
+        print(f"  {result!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable artefacts")
+
+    run = sub.add_parser("run", help="regenerate artefacts")
+    run.add_argument("artefacts", nargs="+", metavar="ARTEFACT",
+                     help="table1..table4, fig3..fig19, or 'all'")
+    run.add_argument("--workers", default="1",
+                     help="worker processes, or 'auto' (default: 1)")
+    run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                     help="schedule scale in (0, 1]; 1.0 approximates "
+                          f"the paper (default: {DEFAULT_SCALE})")
+    run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                     help=f"result cache (default: {DEFAULT_CACHE_DIR})")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute everything, bypassing the cache")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print results as JSON instead of text")
+
+    cache = sub.add_parser("cache", help="inspect/clear the cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    return parser
+
+
+def resolve_artefacts(names: List[str]) -> List[str]:
+    if names == ["all"]:
+        return list(ARTEFACTS)
+    unknown = [n for n in names if n not in ARTEFACTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown artefact(s): {', '.join(unknown)} "
+            f"(try 'python -m repro list')")
+    return names
+
+
+def parse_workers(value: str, option: str = "--workers") -> int:
+    """Parse a worker-count setting; ``option`` names the flag or
+    environment variable being parsed so errors blame the right knob."""
+    if value == "auto":
+        return default_workers()
+    try:
+        workers = int(value)
+    except ValueError:
+        raise SystemExit(f"{option} must be an integer or 'auto', "
+                         f"got {value!r}")
+    if workers < 1:
+        raise SystemExit(f"{option} must be >= 1")
+    return workers
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print(f"{'artefact':<10} {'units':<8} description")
+        for spec in ARTEFACTS.values():
+            units = "fan-out" if spec.kind == "fanout" else "1 figure"
+            print(f"{spec.name:<10} {units:<8} {spec.description}")
+        return 0
+
+    if args.command == "cache":
+        cache = configure_shared_cache(args.cache_dir)
+        if args.action == "clear":
+            size = len(cache)
+            cache.clear()
+            print(f"cleared {size} cached result(s) from "
+                  f"{args.cache_dir}")
+        else:
+            print(f"{args.cache_dir}: {len(cache)} cached result(s)")
+        return 0
+
+    names = resolve_artefacts(args.artefacts)
+    cache = configure_shared_cache(
+        None if args.no_cache else args.cache_dir)
+    runner = ParallelRunner(workers=parse_workers(args.workers),
+                            cache=cache,
+                            use_cache=not args.no_cache)
+    outputs = {}
+    try:
+        for name in names:
+            outputs[name] = run_artefact(name, runner, args.scale)
+    finally:
+        runner.close()
+    if args.as_json:
+        print(json.dumps(to_jsonable(outputs), indent=2))
+        # keep stdout parseable: summary goes to stderr in JSON mode
+        print(f"run summary: {runner.summary.line()}",
+              file=sys.stderr)
+    else:
+        for name, result in outputs.items():
+            _print_result(name, result)
+        print(f"run summary: {runner.summary.line()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

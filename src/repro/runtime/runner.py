@@ -1,0 +1,147 @@
+"""Parallel experiment execution with shared result caching.
+
+:class:`ParallelRunner` is the one funnel every table, figure and
+benchmark submits work through.  It
+
+1. keys each :class:`~repro.runtime.units.ExperimentUnit` into the
+   :class:`~repro.runtime.cache.ResultCache` and serves hits without
+   computing anything,
+2. fans the misses out across worker processes
+   (:class:`concurrent.futures.ProcessPoolExecutor`) -- or runs them
+   inline when ``workers == 1``, the deterministic path the tier-1
+   tests use -- and
+3. stores fresh results back into the cache and returns them in
+   submission order.
+
+Units are executed by the top-level :func:`~repro.runtime.units
+.execute_unit`, which is deterministic given the unit, so ``workers=4``
+and ``workers=1`` produce identical metrics for the same seeds.  Cache
+bookkeeping lives in the parent process only; workers merely inherit
+the disk directory (via an initializer) so expensive sub-steps such as
+the baseline grid search are shared across processes too.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.cache import (
+    MISSING,
+    ResultCache,
+    code_version,
+    configure_shared_cache,
+    pin_code_version,
+    shared_cache,
+)
+from repro.runtime.units import ExperimentUnit, execute_unit, \
+    make_figure_unit, unit_cache_key
+
+
+@dataclass
+class RunSummary:
+    """Aggregate counters over every ``run()`` call of one runner."""
+
+    units: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.units if self.units else 0.0
+
+    def line(self) -> str:
+        return (f"{self.units} unit(s): {self.cache_hits} cached, "
+                f"{self.executed} executed "
+                f"(hit rate {100.0 * self.hit_rate:.0f}%)")
+
+
+def _worker_init(cache_dir: Optional[str], version: str) -> None:
+    """Point the worker's shared cache at the parent's disk store and
+    pin it to the parent's code version so their keys agree."""
+    configure_shared_cache(cache_dir)
+    pin_code_version(version)
+
+
+class ParallelRunner:
+    """Fan experiment units out over processes, through the cache."""
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 use_cache: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else shared_cache()
+        self.use_cache = use_cache
+        self.summary = RunSummary()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _executor(self) -> ProcessPoolExecutor:
+        """The lazily created worker pool, reused across run() calls
+        (workers fork on demand up to ``workers``)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(self.cache.directory, code_version()))
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(self, units: Sequence[ExperimentUnit]) -> List[Any]:
+        """Run every unit (cache-first), preserving input order."""
+        results: List[Any] = [None] * len(units)
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for i, unit in enumerate(units):
+            if not self.use_cache:
+                # caching off: no key hashing, no lookups, no stores
+                pending.append(i)
+                continue
+            keys[i] = unit_cache_key(unit)
+            value = self.cache.fetch(keys[i])
+            if value is not MISSING:
+                results[i] = value
+                self.summary.cache_hits += 1
+            else:
+                pending.append(i)
+        if self.workers == 1 or len(pending) <= 1:
+            for i in pending:
+                results[i] = execute_unit(units[i])
+        else:
+            pool = self._executor()
+            futures = {i: pool.submit(execute_unit, units[i])
+                       for i in pending}
+            for i, future in futures.items():
+                results[i] = future.result()
+        if self.use_cache:
+            for i in pending:
+                self.cache.put(keys[i], results[i])
+        self.summary.units += len(units)
+        self.summary.executed += len(pending)
+        return results
+
+    def run_unit(self, unit: ExperimentUnit) -> Any:
+        return self.run([unit])[0]
+
+    def run_figure(self, name: str, **params: Any) -> Any:
+        """Run a whole single-run figure generator as one cached unit."""
+        return self.run_unit(make_figure_unit(name, **params))
+
+
+#: Workers picked when the caller asks for "auto" parallelism.
+def default_workers() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)

@@ -1,0 +1,88 @@
+"""JSON-safe encoding of experiment results.
+
+The result cache stores everything as JSON on disk (no pickle, no code
+execution on load -- same policy as :mod:`repro.core.persistence`).
+Result objects are richer than plain JSON, so values are encoded with a
+small tagged scheme: ``{"__repro__": "<tag>", ...}`` wrappers mark
+numpy arrays, :class:`~repro.experiments.metrics.MethodResult`,
+:class:`~repro.experiments.metrics.TrajectoryPoint` and
+:class:`~repro.baselines.rule_based.RuleBasedPolicy` instances, and
+:func:`from_jsonable` reconstructs them exactly, so a cache hit served
+from disk is indistinguishable from a freshly computed result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.rule_based import RuleBasedPolicy
+from repro.experiments.metrics import MethodResult, TrajectoryPoint
+
+TAG = "__repro__"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-dumpable primitives."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {TAG: "ndarray", "dtype": str(obj.dtype),
+                "data": obj.tolist()}
+    if isinstance(obj, TrajectoryPoint):
+        return {TAG: "trajectory_point",
+                "fields": to_jsonable(dataclasses.asdict(obj))}
+    if isinstance(obj, MethodResult):
+        fields = {f.name: getattr(obj, f.name)
+                  for f in dataclasses.fields(obj)
+                  if f.name != "trajectory"}
+        return {TAG: "method_result",
+                "fields": to_jsonable(fields),
+                "trajectory": [to_jsonable(p) for p in obj.trajectory]}
+    if isinstance(obj, RuleBasedPolicy):
+        return {TAG: "rule_based_policy",
+                "slice_name": obj.slice_name, "app": obj.app,
+                "bin_edges": obj.bin_edges.tolist(),
+                "actions": [a.tolist() for a in obj.actions]}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, tuple):
+        # tagged so warm-cache results keep their exact types
+        return {TAG: "tuple", "items": [to_jsonable(v) for v in obj]}
+    if isinstance(obj, list):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot encode {type(obj).__name__} for the "
+                    "result cache")
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(obj, dict):
+        tag = obj.get(TAG)
+        if tag == "ndarray":
+            return np.asarray(obj["data"], dtype=obj["dtype"])
+        if tag == "tuple":
+            return tuple(from_jsonable(v) for v in obj["items"])
+        if tag == "trajectory_point":
+            return TrajectoryPoint(**from_jsonable(obj["fields"]))
+        if tag == "method_result":
+            fields = from_jsonable(obj["fields"])
+            fields["trajectory"] = [from_jsonable(p)
+                                    for p in obj["trajectory"]]
+            return MethodResult(**fields)
+        if tag == "rule_based_policy":
+            return RuleBasedPolicy(
+                obj["slice_name"], obj["app"], obj["bin_edges"],
+                [np.asarray(a, dtype=float) for a in obj["actions"]])
+        return {k: from_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    return obj

@@ -1,0 +1,188 @@
+"""Experiment units: the schedulable atoms of the evaluation.
+
+One :class:`ExperimentUnit` is one ``(method, variant, scenario, seed)``
+tuple plus its schedule parameters -- e.g. "train OnSlicing-NB on the
+default scenario with seed 42 for 6 epochs".  Units are plain frozen
+dataclasses so they pickle across process boundaries, and
+:func:`execute_unit` is a top-level function so worker processes can
+run them.  Every table/figure generator decomposes into units, submits
+them to a :class:`~repro.runtime.runner.ParallelRunner`, and assembles
+rows/series from the returned :class:`~repro.experiments.metrics`
+objects.
+
+Methods
+-------
+``onslicing``
+    Offline stage + online phase (+ optional deterministic test); the
+    ``variant`` field selects the paper's ablations (``full``, ``nb``,
+    ``ne``, ``est_noise``, ``projection``, ``md_noise``).  Returns a
+    :class:`MethodResult` whose ``trajectory`` is the online phase.
+``onrl`` / ``baseline`` / ``model_based``
+    The three comparison methods of Sec. 7.1.
+``figure``
+    A whole single-run figure generator (``variant`` names it, e.g.
+    ``fig12``); used for artefacts that cannot be decomposed further.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import ExperimentConfig
+from repro.experiments.scenarios import (
+    default_scenario,
+    lte_fixed_mcs_scenario,
+    nr_fixed_mcs_scenario,
+    short_horizon_scenario,
+)
+from repro.runtime.cache import code_version, content_key
+
+#: Named scenario factories a unit may reference (picklable by name).
+SCENARIOS = {
+    "default": default_scenario,
+    "lte_fixed_mcs": lte_fixed_mcs_scenario,
+    "nr_fixed_mcs": nr_fixed_mcs_scenario,
+    "short_horizon": short_horizon_scenario,
+}
+
+#: Figure generators runnable as whole-figure units.  The fan-out
+#: figures (fig3/9/11/13) are *not* here: they decompose into method
+#: units inside :mod:`repro.experiments.figures` instead.
+FIGURE_UNITS = ("fig5", "fig6", "fig10", "fig12", "fig14", "fig15",
+                "fig16", "fig17", "fig18", "fig19")
+
+METHODS = ("onslicing", "onrl", "baseline", "model_based", "figure")
+
+
+@dataclass(frozen=True)
+class ExperimentUnit:
+    """One independently runnable (and cacheable) piece of work."""
+
+    method: str
+    variant: str = "full"
+    scenario: str = "default"
+    seed: int = 42
+    #: Sorted ``(name, value)`` schedule parameters (epochs, episodes,
+    #: ...).  A tuple so the unit stays hashable and picklable.
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: Explicit config override; when set it wins over ``scenario``.
+    #: Excluded from equality/hash (configs are mutable dataclasses);
+    #: cache identity comes from :func:`unit_cache_key`, which hashes
+    #: the resolved config's full contents.
+    cfg: Optional[ExperimentConfig] = field(default=None, compare=False)
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def resolve_config(self) -> ExperimentConfig:
+        if self.cfg is not None:
+            return self.cfg
+        return SCENARIOS[self.scenario]()
+
+def make_unit(method: str, variant: str = "full",
+              scenario: str = "default", seed: int = 42,
+              cfg: Optional[ExperimentConfig] = None,
+              **params: Any) -> ExperimentUnit:
+    """Build a validated unit; ``params`` become the schedule tuple."""
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; "
+                         f"expected one of {METHODS}")
+    if method == "figure":
+        # make_unit's own cfg/scenario/seed parameters would shadow
+        # same-named figure kwargs and then be silently ignored by
+        # execute_unit while still poisoning the cache key -- build
+        # figure units with make_figure_unit, which forwards *every*
+        # keyword to the figure function.
+        raise ValueError("use make_figure_unit() for figure units")
+    if cfg is None and scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         f"expected one of {tuple(SCENARIOS)}")
+    return ExperimentUnit(method=method, variant=variant,
+                          scenario=scenario, seed=seed,
+                          params=tuple(sorted(params.items())), cfg=cfg)
+
+
+def make_figure_unit(name: str, **params: Any) -> ExperimentUnit:
+    """Build a whole-figure unit; every keyword (including ``seed``)
+    reaches the figure function verbatim."""
+    if name not in FIGURE_UNITS:
+        raise ValueError(f"unknown figure unit {name!r}; "
+                         f"expected one of {FIGURE_UNITS}")
+    return ExperimentUnit(method="figure", variant=name,
+                          params=tuple(sorted(params.items())))
+
+
+def unit_cache_key(unit: ExperimentUnit) -> str:
+    """Content key: config + variant + seed + params + code version."""
+    cfg = None if unit.method == "figure" else unit.resolve_config()
+    payload = {
+        "config": dataclasses.asdict(cfg) if cfg is not None else None,
+        "method": unit.method,
+        "variant": unit.variant,
+        "scenario": unit.scenario,
+        "seed": unit.seed,
+        "params": [list(pair) for pair in unit.params],
+        "code_version": code_version(),
+    }
+    return content_key(payload)
+
+
+def execute_unit(unit: ExperimentUnit) -> Any:
+    """Run one unit to completion (in this process) and return its
+    result -- a :class:`MethodResult` for method units, the figure's
+    series dict for figure units.  Deterministic given the unit, so
+    parallel and in-process execution agree bit-for-bit.
+    """
+    # Imported lazily: workers only pay for what the unit needs, and
+    # the figures module itself imports the runner (cycle otherwise).
+    from repro.experiments import harness
+    from repro.experiments.metrics import (
+        MethodResult,
+        online_phase_summary,
+    )
+
+    p = unit.kwargs()
+    if unit.method == "figure":
+        from repro.experiments import figures
+        return getattr(figures, unit.variant)(**p)
+    cfg = unit.resolve_config()
+    if unit.method == "onslicing":
+        bundle = harness.build_onslicing(
+            cfg, variant=unit.variant,
+            offline_episodes=p.get("offline_episodes", 4),
+            exploration_episodes=p.get("exploration_episodes", 6),
+            seed=unit.seed)
+        trajectory = harness.run_online_phase(
+            bundle, epochs=p.get("epochs", 12),
+            episodes_per_epoch=p.get("episodes_per_epoch", 3),
+            estimator_refresh_every=p.get("estimator_refresh_every", 4))
+        test_episodes = p.get("test_episodes", 3)
+        if test_episodes:
+            result = harness.test_performance(bundle,
+                                              episodes=test_episodes)
+        else:
+            # Online-phase-only protocols (Tables 2-4): summarise the
+            # trajectory instead of running extra test episodes.
+            summary = online_phase_summary(trajectory)
+            result = MethodResult(
+                method="OnSlicing",
+                avg_resource_usage=summary["avg_res_usage_pct"],
+                avg_sla_violation=summary["avg_sla_violation_pct"],
+                mean_interactions=summary["mean_interactions"])
+        return dataclasses.replace(result, trajectory=trajectory)
+    if unit.method == "onrl":
+        return harness.run_onrl_phase(
+            cfg, epochs=p.get("epochs", 12),
+            episodes_per_epoch=p.get("episodes_per_epoch", 3),
+            seed=unit.seed)
+    if unit.method == "baseline":
+        return harness.evaluate_static_policies(
+            cfg, harness.fit_baselines(cfg),
+            episodes=p.get("episodes", 3), method="Baseline")
+    if unit.method == "model_based":
+        return harness.evaluate_static_policies(
+            cfg, harness.make_model_based_policies(cfg),
+            episodes=p.get("episodes", 3), method="Model_Based")
+    raise ValueError(f"unknown method {unit.method!r}")
