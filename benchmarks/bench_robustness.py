@@ -1,0 +1,40 @@
+"""Robustness matrix: all four methods across the scenario stress
+matrix (repo extension beyond the paper's fixed world).
+
+Qualitative claims checked here: OnRL violates substantially across
+the board (fixed-penalty DRL has no safety mechanism, stationary or
+not), OnSlicing stays far below OnRL's violation on average, and the
+matrix covers every registered stress scenario with finite metrics.
+"""
+
+from conftest import run_once
+
+from repro.experiments.robustness import robustness
+from repro.scenarios import ROBUSTNESS_MATRIX
+
+
+def test_robustness(benchmark, bench_scale, runner):
+    rows = run_once(benchmark, robustness, scale=bench_scale,
+                    runner=runner)
+    print("\nRobustness matrix (scenario x method):")
+    for name, row in rows.items():
+        print(f"  {name:<32} usage {row['avg_res_usage_pct']:6.2f}% "
+              f"violation {row['avg_sla_violation_pct']:6.2f}%")
+    assert len(rows) == len(ROBUSTNESS_MATRIX) * 4
+    scenarios = {row["scenario"] for row in rows.values()}
+    assert scenarios == set(ROBUSTNESS_MATRIX)
+
+    def mean(method):
+        cells = [row for key, row in rows.items()
+                 if key.endswith(f"/{method}")]
+        assert len(cells) == len(ROBUSTNESS_MATRIX)
+        return (sum(r["avg_res_usage_pct"] for r in cells) / len(cells),
+                sum(r["avg_sla_violation_pct"] for r in cells)
+                / len(cells))
+
+    ons_usage, ons_viol = mean("OnSlicing")
+    onrl_usage, onrl_viol = mean("OnRL")
+    # who wins: the safe learner violates far less than unsafe DRL
+    assert ons_viol < onrl_viol
+    assert onrl_viol >= 10.0
+    assert 0.0 < ons_usage < onrl_usage

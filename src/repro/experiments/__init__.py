@@ -4,7 +4,12 @@
 * :mod:`repro.experiments.harness` -- method builders/runners (OnSlicing
   and its ablation variants, OnRL, Baseline, Model_Based);
 * :mod:`repro.experiments.tables` -- Table 1-4 generators;
-* :mod:`repro.experiments.figures` -- Fig. 3, 5, 6, 9-19 generators.
+* :mod:`repro.experiments.figures` -- Fig. 3, 5, 6, 9-19 generators;
+* :mod:`repro.experiments.robustness` -- the method x scenario stress
+  matrix (``python -m repro run robustness``).
+
+Fan-out generators accept ``scenario=<registered name>`` to re-target
+an artefact at any workload from :mod:`repro.scenarios`.
 
 All generators accept a ``scale`` knob: ``scale=1.0`` approximates the
 paper's schedules; the benchmark suite uses smaller scales so the whole

@@ -39,7 +39,7 @@ from repro.experiments.harness import (
 from repro.experiments.metrics import cdf, usage_percent
 from repro.rl.behavior_cloning import BehaviorCloningTrainer
 from repro.runtime.runner import ParallelRunner
-from repro.runtime.units import make_unit
+from repro.runtime.units import make_unit, schedule_epochs as _schedule
 from repro.rl.ppo import GaussianActorCritic
 from repro.sim.channel import ChannelProcess
 from repro.sim.env import ScenarioSimulator
@@ -48,16 +48,13 @@ from repro.sim.phy import PhyModel
 from repro.sim.ran import RadioCell, Scheduler
 
 
-def _schedule(scale: float, full: int) -> int:
-    return max(int(round(full * scale)), 2)
-
-
 # ---------------------------------------------------------------- Fig 3
 
 
 def fig3(scale: float = 0.25,
          cfg: Optional[ExperimentConfig] = None,
-         runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
+         runner: Optional[ParallelRunner] = None,
+         scenario: str = "default") -> Dict[str, object]:
     """Fig. 3(a)/(b): unsafe fixed-penalty DRL vs the baseline.
 
     Paper shape: the DRL agent exceeds 30 % violation during online
@@ -67,9 +64,9 @@ def fig3(scale: float = 0.25,
     runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
     onrl, base = runner.run([
-        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=2),
-        make_unit("baseline", cfg=cfg, episodes=2),
+        make_unit("onrl", seed=17, cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=2),
+        make_unit("baseline", cfg=cfg, scenario=scenario, episodes=2),
     ])
     return {
         "drl_violation_pct": [100.0 * p.violation_rate
@@ -134,7 +131,8 @@ def fig6() -> Dict[str, List[float]]:
 
 def fig9(scale: float = 0.25,
          cfg: Optional[ExperimentConfig] = None,
-         runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
+         runner: Optional[ParallelRunner] = None,
+         scenario: str = "default") -> Dict[str, object]:
     """Fig. 9: learning trajectories (usage vs violation) per method.
 
     Paper shape: OnRL starts top-right (high usage, high violation) and
@@ -144,12 +142,14 @@ def fig9(scale: float = 0.25,
     runner = runner or ParallelRunner()
     epochs = _schedule(scale, 30)
     ons_result, onrl, base, model = runner.run([
-        make_unit("onslicing", cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=2, test_episodes=0),
-        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=2),
-        make_unit("baseline", cfg=cfg, episodes=2),
-        make_unit("model_based", cfg=cfg, episodes=2),
+        make_unit("onslicing", cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=2,
+                  test_episodes=0),
+        make_unit("onrl", seed=17, cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=2),
+        make_unit("baseline", cfg=cfg, scenario=scenario, episodes=2),
+        make_unit("model_based", cfg=cfg, scenario=scenario,
+                  episodes=2),
     ])
     ons = ons_result.trajectory
     return {
@@ -215,14 +215,21 @@ def fig10(cfg: Optional[ExperimentConfig] = None,
 
 def fig11(scale: float = 0.25,
           cfg: Optional[ExperimentConfig] = None,
-          runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
+          runner: Optional[ParallelRunner] = None,
+          scenario: str = "default") -> Dict[str, object]:
     """Fig. 11: per-slice online curves -- usage falls, violation ~0."""
     runner = runner or ParallelRunner()
-    slices = (cfg or ExperimentConfig()).slices
+    if cfg is None:
+        from repro import scenarios as scenario_registry
+
+        slices = scenario_registry.get(scenario).build_config().slices
+    else:
+        slices = cfg.slices
     epochs = _schedule(scale, 75)
     result = runner.run_unit(
-        make_unit("onslicing", cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=2, test_episodes=0))
+        make_unit("onslicing", cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=2,
+                  test_episodes=0))
     trajectory = result.trajectory
     out: Dict[str, object] = {"epochs": [p.epoch for p in trajectory]}
     for spec in slices:
@@ -298,7 +305,8 @@ def fig12(cfg: Optional[ExperimentConfig] = None,
 
 def fig13(scale: float = 0.25,
           cfg: Optional[ExperimentConfig] = None,
-          runner: Optional[ParallelRunner] = None) -> Dict[str, object]:
+          runner: Optional[ParallelRunner] = None,
+          scenario: str = "default") -> Dict[str, object]:
     """Fig. 13: violation curves of the switching variants.
 
     Paper shape: OnSlicing-NB worst, OnSlicing-NE intermediate, full
@@ -309,7 +317,8 @@ def fig13(scale: float = 0.25,
     labels = {"nb": "OnSlicing-NB", "full": "OnSlicing",
               "ne": "OnSlicing-NE"}
     results = runner.run([
-        make_unit("onslicing", variant=variant, cfg=cfg, epochs=epochs,
+        make_unit("onslicing", variant=variant, cfg=cfg,
+                  scenario=scenario, epochs=epochs,
                   episodes_per_epoch=2, test_episodes=0)
         for variant in labels
     ])

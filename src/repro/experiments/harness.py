@@ -49,6 +49,32 @@ from repro.sim.env import STATE_DIM, ScenarioSimulator
 from repro.sim.network import EndToEndNetwork
 
 
+def resolve_scenario(scenario):
+    """Normalise a scenario reference to a spec (or ``None``).
+
+    Accepts a registered scenario name, a
+    :class:`~repro.scenarios.spec.ScenarioSpec`, or ``None`` (the plain
+    paper world described entirely by the config).
+    """
+    if scenario is None:
+        return None
+    if isinstance(scenario, str):
+        from repro import scenarios
+
+        return scenarios.get(scenario)
+    return scenario
+
+
+def make_simulator(cfg: ExperimentConfig,
+                   scenario=None) -> ScenarioSimulator:
+    """Build the simulator for ``cfg``, honouring a scenario's traffic
+    model and event timeline when one is named."""
+    spec = resolve_scenario(scenario)
+    if spec is None:
+        return ScenarioSimulator(cfg)
+    return spec.build_simulator(cfg)
+
+
 def fit_baselines(cfg: ExperimentConfig,
                   use_cache: bool = True) -> Dict[str, RuleBasedPolicy]:
     """Grid-search the rule-based baseline for every slice (cached).
@@ -107,7 +133,8 @@ def build_onslicing(cfg: Optional[ExperimentConfig] = None,
                     variant: str = "full",
                     offline_episodes: int = 4,
                     exploration_episodes: int = 6,
-                    seed: int = 42) -> OnSlicingBundle:
+                    seed: int = 42,
+                    scenario=None) -> OnSlicingBundle:
     """Run the offline stage and assemble an OnSlicing deployment.
 
     ``variant`` selects the ablations of Tables 2/3:
@@ -118,8 +145,16 @@ def build_onslicing(cfg: Optional[ExperimentConfig] = None,
     * ``est_noise``   -- Gaussian noise (std 1.0) on pi_phi's output;
     * ``projection``  -- projection instead of the action modifier;
     * ``md_noise``    -- Gaussian noise (std 1.0) on pi_a's output.
+
+    ``scenario`` (a registered name or
+    :class:`~repro.scenarios.spec.ScenarioSpec`) drives offline *and*
+    online phases with the scenario's traffic model and event timeline;
+    its config is used when ``cfg`` is not given.
     """
-    cfg = cfg or ExperimentConfig()
+    scenario = resolve_scenario(scenario)
+    if cfg is None:
+        cfg = (scenario.build_config() if scenario is not None
+               else ExperimentConfig())
     agent_cfg = cfg.agent
     if variant == "nb":
         agent_cfg = dataclasses.replace(
@@ -143,7 +178,7 @@ def build_onslicing(cfg: Optional[ExperimentConfig] = None,
         raise ValueError(f"unknown OnSlicing variant {variant!r}")
     cfg = cfg.replace(agent=agent_cfg)
 
-    simulator = ScenarioSimulator(cfg)
+    simulator = make_simulator(cfg, scenario)
     baselines = fit_baselines(cfg)
     rng = np.random.default_rng(seed)
     datasets = collect_baseline_rollouts(
@@ -215,16 +250,15 @@ def test_performance(bundle: OnSlicingBundle, episodes: int = 3
 def evaluate_static_policies(cfg: ExperimentConfig,
                              policies: Dict[str, object],
                              episodes: int = 3,
-                             method: str = "Baseline") -> MethodResult:
+                             method: str = "Baseline",
+                             scenario=None) -> MethodResult:
     """Run observation->action policies with projection for capacity.
 
     Used for both the rule-based Baseline and Model_Based -- the two
     non-learning comparison methods, which resolve over-requests with
     the projection method (paper Sec. 7.1).
     """
-    simulator = ScenarioSimulator(cfg)
-    usages: List[float] = []
-    violations: List[float] = []
+    simulator = make_simulator(cfg, scenario)
     per_slice_u: Dict[str, List[float]] = {
         n: [] for n in simulator.slice_names}
     per_slice_v: Dict[str, List[float]] = {
@@ -276,15 +310,18 @@ def make_model_based_policies(cfg: ExperimentConfig
 def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
                    epochs: int = 12, episodes_per_epoch: int = 3,
                    seed: int = 17,
-                   onrl_cfg: Optional[OnRLConfig] = None
-                   ) -> MethodResult:
+                   onrl_cfg: Optional[OnRLConfig] = None,
+                   scenario=None) -> MethodResult:
     """Train OnRL from scratch and return trajectory + test metrics.
 
     OnRL agents act independently and over-requests are resolved with
     projection -- no modifier, no switching, fixed penalty weight.
     """
-    cfg = cfg or ExperimentConfig()
-    simulator = ScenarioSimulator(cfg)
+    scenario = resolve_scenario(scenario)
+    if cfg is None:
+        cfg = (scenario.build_config() if scenario is not None
+               else ExperimentConfig())
+    simulator = make_simulator(cfg, scenario)
     agents = {
         spec.name: OnRLAgent(
             spec.name, STATE_DIM, 10, cfg=onrl_cfg,

@@ -1,41 +1,40 @@
 """Canonical experiment scenarios (paper Sec. 7.1/7.2).
 
 Thin factory helpers so examples, tests and benchmarks construct the
-exact same configurations.
+exact same configurations.  Since the scenario engine landed these
+delegate to the declarative registry (:mod:`repro.scenarios`) -- the
+single source of truth ``python -m repro scenarios`` lists -- and are
+kept for API stability and for call sites that want a plain
+:class:`~repro.config.ExperimentConfig` without touching specs.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
-from repro.config import (
-    ExperimentConfig,
-    NetworkConfig,
-    TrafficConfig,
-    lte_ran_config,
-    nr_ran_config,
-)
+from repro import scenarios as _registry
+from repro.config import ExperimentConfig, TrafficConfig
 
 
 def default_scenario(seed: int = 7) -> ExperimentConfig:
     """The paper's main scenario: 3 slices on the LTE testbed."""
-    return ExperimentConfig(seed=seed)
+    return _registry.get("default").build_config(seed=seed)
 
 
 def lte_fixed_mcs_scenario(seed: int = 7) -> ExperimentConfig:
     """4G LTE with MCS pinned to 9 (Table 4 / Fig. 16-17 protocol)."""
-    ran = dataclasses.replace(lte_ran_config(), fixed_mcs=9)
-    return ExperimentConfig(network=NetworkConfig(ran=ran), seed=seed)
+    return _registry.get("lte_fixed_mcs").build_config(seed=seed)
 
 
 def nr_fixed_mcs_scenario(seed: int = 7) -> ExperimentConfig:
     """5G NSA (gNB 40 MHz / 106 PRB / 30 kHz SCS) with MCS 9."""
-    ran = dataclasses.replace(nr_ran_config(), fixed_mcs=9)
-    return ExperimentConfig(network=NetworkConfig(ran=ran), seed=seed)
+    return _registry.get("nr_fixed_mcs").build_config(seed=seed)
 
 
 def short_horizon_scenario(slots: int = 12,
                            seed: int = 7) -> ExperimentConfig:
-    """A fast scenario for tests: shorter 'day' with the same shape."""
+    """A fast scenario for tests: shorter 'day' with the same shape.
+
+    Parameterised by ``slots``, so it builds the config directly; the
+    registered ``short_horizon`` spec pins the default 12 slots.
+    """
     return ExperimentConfig(
         traffic=TrafficConfig(slots_per_episode=slots), seed=seed)

@@ -19,24 +19,21 @@ from typing import Dict, Optional
 
 from repro.config import ExperimentConfig
 from repro.runtime.runner import ParallelRunner
-from repro.runtime.units import make_unit
-
-
-def _schedule(scale: float, full_epochs: int) -> int:
-    return max(int(round(full_epochs * scale)), 2)
+from repro.runtime.units import make_unit, schedule_epochs as _schedule
 
 
 def _online_phase_rows(runner: ParallelRunner, labels: Dict[str, str],
                        cfg: Optional[ExperimentConfig], epochs: int,
-                       interactions: bool = False) -> Dict[str, dict]:
+                       interactions: bool = False,
+                       scenario: str = "default") -> Dict[str, dict]:
     """Fan variant units out and assemble online-phase metric rows.
 
     ``labels`` maps OnSlicing variant -> display label (Tables 2/3);
     ``interactions`` adds the Table-3 ``interact_num`` column.
     """
     units = [make_unit("onslicing", variant=variant, cfg=cfg,
-                       epochs=epochs, episodes_per_epoch=3,
-                       test_episodes=0)
+                       scenario=scenario, epochs=epochs,
+                       episodes_per_epoch=3, test_episodes=0)
              for variant in labels]
     results = runner.run(units)
     rows: Dict[str, dict] = {}
@@ -54,23 +51,29 @@ def _online_phase_rows(runner: ParallelRunner, labels: Dict[str, str],
 
 def table1(scale: float = 0.25,
            cfg: Optional[ExperimentConfig] = None,
-           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
+           runner: Optional[ParallelRunner] = None,
+           scenario: str = "default") -> Dict[str, dict]:
     """Table 1: test usage/violation of all four methods.
 
     Paper: OnSlicing 20.19/0.00, OnRL 23.08/15.40, Baseline 52.18/0.00,
     Model_Based 59.04/3.13 (percent).  Expected shape: OnSlicing lowest
     usage at zero violation; OnRL between OnSlicing and Baseline with a
     substantial violation; Model_Based the most expensive and violating.
+
+    ``scenario`` re-targets the whole table at a registered workload.
+    An explicit ``cfg`` overrides the scenario's *config* only; the
+    scenario's traffic model and event timeline still drive the
+    simulator.
     """
     runner = runner or ParallelRunner()
     epochs = _schedule(scale, 60)
     units = [
-        make_unit("onslicing", cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=3),
-        make_unit("onrl", seed=17, cfg=cfg, epochs=epochs,
-                  episodes_per_epoch=3),
-        make_unit("baseline", cfg=cfg),
-        make_unit("model_based", cfg=cfg),
+        make_unit("onslicing", cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=3),
+        make_unit("onrl", seed=17, cfg=cfg, scenario=scenario,
+                  epochs=epochs, episodes_per_epoch=3),
+        make_unit("baseline", cfg=cfg, scenario=scenario),
+        make_unit("model_based", cfg=cfg, scenario=scenario),
     ]
     results = runner.run(units)
     return {result.method: result.row() for result in results}
@@ -78,7 +81,8 @@ def table1(scale: float = 0.25,
 
 def table2(scale: float = 0.25,
            cfg: Optional[ExperimentConfig] = None,
-           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
+           runner: Optional[ParallelRunner] = None,
+           scenario: str = "default") -> Dict[str, dict]:
     """Table 2: online-phase averages of switching variants.
 
     Paper: OnSlicing 29.07/0.06, -NE 30.81/0.33, -NB 29.64/2.94,
@@ -88,12 +92,14 @@ def table2(scale: float = 0.25,
     labels = {"full": "OnSlicing", "ne": "OnSlicing-NE",
               "nb": "OnSlicing-NB", "est_noise": "OnSlicing Est. Noise"}
     return _online_phase_rows(runner or ParallelRunner(), labels,
-                              cfg, _schedule(scale, 40))
+                              cfg, _schedule(scale, 40),
+                              scenario=scenario)
 
 
 def table3(scale: float = 0.25,
            cfg: Optional[ExperimentConfig] = None,
-           runner: Optional[ParallelRunner] = None) -> Dict[str, dict]:
+           runner: Optional[ParallelRunner] = None,
+           scenario: str = "default") -> Dict[str, dict]:
     """Table 3: action-modification methods.
 
     Paper: OnSlicing 20.2/0.00/1.83 interactions, projection
@@ -106,7 +112,7 @@ def table3(scale: float = 0.25,
               "md_noise": "OnSlicing Md. Noise"}
     return _online_phase_rows(runner or ParallelRunner(), labels,
                               cfg, _schedule(scale, 40),
-                              interactions=True)
+                              interactions=True, scenario=scenario)
 
 
 def table4(scale: float = 0.25,

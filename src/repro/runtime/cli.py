@@ -3,8 +3,11 @@
 Subcommands
 -----------
 ``list``
-    Show every runnable artefact (tables 1-4, figures 3-19) and how it
-    decomposes into experiment units.
+    Show every runnable artefact (tables 1-4, figures 3-19, the
+    robustness matrix) and how it decomposes into experiment units.
+``scenarios``
+    Show every registered scenario (slice population, traffic model,
+    event timeline) from :mod:`repro.scenarios`.
 ``run ARTEFACT [ARTEFACT ...]``
     Regenerate artefacts through the shared
     :class:`~repro.runtime.runner.ParallelRunner`: ``--workers`` fans
@@ -12,7 +15,10 @@ Subcommands
     schedules, and results are served from the on-disk cache
     (``--cache-dir``, default ``.repro_cache``) whenever the same
     config/seed/code version was computed before.  ``run all`` sweeps
-    everything.
+    everything.  ``--scenario`` re-targets scenario-aware artefacts at
+    a named workload, ``--seed`` overrides every method unit's seed,
+    and ``--list-units`` prints the unit decomposition (with cache
+    keys) instead of executing.
 ``cache``
     Inspect (``info``) or drop (``clear``) the on-disk result cache.
 
@@ -21,7 +27,11 @@ Examples
 ::
 
     python -m repro list
+    python -m repro scenarios
     python -m repro run table1 --workers 4 --scale 0.1
+    python -m repro run robustness --scale 0.05 --workers 2
+    python -m repro run table1 --scenario flash_crowd --seed 7
+    python -m repro run table1 --list-units
     python -m repro run fig13 fig16 --json
     python -m repro cache clear
 """
@@ -29,6 +39,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from dataclasses import dataclass
@@ -87,23 +98,56 @@ ARTEFACTS: Dict[str, Artefact] = {a.name: a for a in (
     Artefact("fig18", "MAR user scale-up", "figure"),
     Artefact("fig19", "coordination rounds vs slice count", "figure",
              scaled=False),
+    Artefact("robustness", "all four methods across the scenario "
+             "stress matrix", "fanout"),
 )}
 
 
 def _generator(name: str) -> Callable[..., Any]:
+    if name == "robustness":
+        from repro.experiments.robustness import robustness
+
+        return robustness
     from repro.experiments import figures, tables
 
     module = tables if name.startswith("table") else figures
     return getattr(module, name)
 
 
-def run_artefact(name: str, runner: ParallelRunner,
-                 scale: float) -> Any:
+def supports_scenario(name: str) -> bool:
+    """Whether an artefact's generator takes a ``scenario`` keyword."""
+    if ARTEFACTS[name].kind != "fanout":
+        return False
+    return "scenario" in inspect.signature(_generator(name)).parameters
+
+
+def run_artefact(name: str, runner: ParallelRunner, scale: float,
+                 scenario: Optional[str] = None) -> Any:
     spec = ARTEFACTS[name]
+    if scenario is not None and not supports_scenario(name):
+        raise SystemExit(
+            f"artefact {name!r} does not accept --scenario")
     if spec.kind == "fanout":
-        return _generator(name)(scale=scale, runner=runner)
+        kwargs: Dict[str, Any] = {"scale": scale, "runner": runner}
+        if scenario is not None:
+            kwargs["scenario"] = scenario
+        return _generator(name)(**kwargs)
     kwargs = {"scale": scale} if spec.scaled else {}
     return runner.run_figure(name, **kwargs)
+
+
+def _print_units(units: List[Any]) -> None:
+    """Print a recorded unit decomposition (``run --list-units``)."""
+    from repro.runtime.units import unit_cache_key
+
+    print(f"{'method':<12} {'variant':<12} {'scenario':<18} "
+          f"{'seed':<6} {'key':<14} params")
+    for unit in units:
+        params = " ".join(f"{k}={v}" for k, v in unit.params) or "-"
+        key = unit_cache_key(unit)[:12]
+        print(f"{unit.method:<12} {unit.variant:<12} "
+              f"{unit.scenario:<18} {unit.seed:<6} {key:<14} {params}")
+    print(f"{len(units)} unit(s)")
 
 
 def _print_result(name: str, result: Any) -> None:
@@ -133,14 +177,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list runnable artefacts")
 
+    sub.add_parser("scenarios", help="list registered scenarios")
+
     run = sub.add_parser("run", help="regenerate artefacts")
     run.add_argument("artefacts", nargs="+", metavar="ARTEFACT",
-                     help="table1..table4, fig3..fig19, or 'all'")
+                     help="table1..table4, fig3..fig19, robustness, "
+                          "or 'all'")
     run.add_argument("--workers", default="1",
                      help="worker processes, or 'auto' (default: 1)")
     run.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                      help="schedule scale in (0, 1]; 1.0 approximates "
                           f"the paper (default: {DEFAULT_SCALE})")
+    run.add_argument("--scenario", default=None, metavar="NAME",
+                     help="re-target scenario-aware artefacts at a "
+                          "registered scenario (see 'scenarios')")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the seed of every learning unit "
+                          "(onslicing/onrl)")
+    run.add_argument("--list-units", action="store_true",
+                     dest="list_units",
+                     help="print the unit decomposition (with cache "
+                          "keys) instead of executing")
     run.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                      help=f"result cache (default: {DEFAULT_CACHE_DIR})")
     run.add_argument("--no-cache", action="store_true",
@@ -190,6 +247,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{spec.name:<10} {units:<8} {spec.description}")
         return 0
 
+    if args.command == "scenarios":
+        from repro import scenarios as scenario_registry
+
+        print(f"{'scenario':<18} {'slices':<7} {'traffic':<18} "
+              f"{'events':<7} description")
+        for spec in scenario_registry.all_specs():
+            slices = len(spec.slices) if spec.slices else 3
+            traffic = (type(spec.traffic).__name__
+                       if spec.traffic is not None else "diurnal")
+            print(f"{spec.name:<18} {slices:<7} {traffic:<18} "
+                  f"{len(spec.events):<7} {spec.description}")
+        print(f"{len(scenario_registry.names())} scenario(s) "
+              "registered")
+        return 0
+
     if args.command == "cache":
         cache = configure_shared_cache(args.cache_dir)
         if args.action == "clear":
@@ -202,15 +274,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     names = resolve_artefacts(args.artefacts)
+    if args.scenario is not None:
+        from repro import scenarios as scenario_registry
+
+        if args.scenario not in scenario_registry.names():
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r} "
+                f"(try 'python -m repro scenarios')")
+        # Fail before any unit executes, not mid-sweep: every selected
+        # artefact must be scenario-aware.
+        incompatible = [n for n in names if not supports_scenario(n)]
+        if incompatible:
+            raise SystemExit(
+                "--scenario is not supported by: "
+                f"{', '.join(incompatible)}")
+
+    if args.list_units:
+        planner = ParallelRunner(workers=1, collect_only=True,
+                                 use_cache=False,
+                                 seed_override=args.seed)
+        for name in names:
+            try:
+                run_artefact(name, planner, args.scale,
+                             scenario=args.scenario)
+            except SystemExit:
+                raise
+            except Exception as exc:
+                # stub results may not satisfy every generator's
+                # assembly step; the units submitted so far still list
+                print(f"note: {name} decomposition incomplete ({exc})",
+                      file=sys.stderr)
+        _print_units(planner.collected)
+        return 0
+
     cache = configure_shared_cache(
         None if args.no_cache else args.cache_dir)
     runner = ParallelRunner(workers=parse_workers(args.workers),
                             cache=cache,
-                            use_cache=not args.no_cache)
+                            use_cache=not args.no_cache,
+                            seed_override=args.seed)
     outputs = {}
     try:
         for name in names:
-            outputs[name] = run_artefact(name, runner, args.scale)
+            outputs[name] = run_artefact(name, runner, args.scale,
+                                         scenario=args.scenario)
     finally:
         runner.close()
     if args.as_json:

@@ -23,6 +23,7 @@ the baseline grid search are shared across processes too.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -36,8 +37,8 @@ from repro.runtime.cache import (
     pin_code_version,
     shared_cache,
 )
-from repro.runtime.units import ExperimentUnit, execute_unit, \
-    make_figure_unit, unit_cache_key
+from repro.runtime.units import SEED_CONSUMING_METHODS, \
+    ExperimentUnit, execute_unit, make_figure_unit, unit_cache_key
 
 
 @dataclass
@@ -66,18 +67,43 @@ def _worker_init(cache_dir: Optional[str], version: str) -> None:
 
 
 class ParallelRunner:
-    """Fan experiment units out over processes, through the cache."""
+    """Fan experiment units out over processes, through the cache.
+
+    ``seed_override`` rewrites the seed of every seed-consuming unit
+    (onslicing/onrl) before keying or executing it -- the CLI's
+    ``--seed`` flag, so one unit can be reproduced from the command
+    line without editing generator code.  Seed-independent units
+    (baseline/model_based derive randomness from the config, figure
+    units forward their own ``seed`` keyword) are left untouched so
+    their cached results stay valid.
+
+    ``collect_only`` turns the runner into a planner: ``run()`` records
+    every submitted unit in :attr:`collected` and returns stub results
+    without touching the cache or computing anything -- the CLI's
+    ``--list-units`` dry run.
+    """
 
     def __init__(self, workers: int = 1,
                  cache: Optional[ResultCache] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 seed_override: Optional[int] = None,
+                 collect_only: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.cache = cache if cache is not None else shared_cache()
         self.use_cache = use_cache
+        self.seed_override = seed_override
+        self.collect_only = collect_only
+        self.collected: List[ExperimentUnit] = []
         self.summary = RunSummary()
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _prepare(self, unit: ExperimentUnit) -> ExperimentUnit:
+        if (self.seed_override is not None
+                and unit.method in SEED_CONSUMING_METHODS):
+            unit = dataclasses.replace(unit, seed=self.seed_override)
+        return unit
 
     def _executor(self) -> ProcessPoolExecutor:
         """The lazily created worker pool, reused across run() calls
@@ -103,6 +129,11 @@ class ParallelRunner:
 
     def run(self, units: Sequence[ExperimentUnit]) -> List[Any]:
         """Run every unit (cache-first), preserving input order."""
+        units = [self._prepare(unit) for unit in units]
+        if self.collect_only:
+            self.collected.extend(units)
+            self.summary.units += len(units)
+            return [_stub_result(unit) for unit in units]
         results: List[Any] = [None] * len(units)
         pending: List[int] = []
         keys: Dict[int, str] = {}
@@ -140,6 +171,19 @@ class ParallelRunner:
     def run_figure(self, name: str, **params: Any) -> Any:
         """Run a whole single-run figure generator as one cached unit."""
         return self.run_unit(make_figure_unit(name, **params))
+
+
+def _stub_result(unit: ExperimentUnit) -> Any:
+    """Placeholder result for collect-only runs.
+
+    Shaped like a zero-metric :class:`MethodResult` so fan-out
+    generators can keep assembling rows while the runner merely
+    records their unit decomposition.
+    """
+    from repro.experiments.metrics import MethodResult
+
+    return MethodResult(method=unit.method, avg_resource_usage=0.0,
+                        avg_sla_violation=0.0)
 
 
 #: Workers picked when the caller asks for "auto" parallelism.

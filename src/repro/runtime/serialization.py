@@ -9,6 +9,13 @@ numpy arrays, :class:`~repro.experiments.metrics.MethodResult`,
 :class:`~repro.baselines.rule_based.RuleBasedPolicy` instances, and
 :func:`from_jsonable` reconstructs them exactly, so a cache hit served
 from disk is indistinguishable from a freshly computed result.
+
+Frozen declarative dataclasses -- the config family, scenario specs,
+traffic models, and network events -- round-trip through a generic
+``{"__repro__": "dataclass", "type": ..., "fields": ...}`` wrapper.
+Only types in the explicit :data:`DATACLASS_TYPES` allowlist decode
+(construction calls the class's validating ``__init__``, never
+``__setstate__``-style machinery), preserving the no-pickle contract.
 """
 
 from __future__ import annotations
@@ -19,9 +26,48 @@ from typing import Any
 import numpy as np
 
 from repro.baselines.rule_based import RuleBasedPolicy
+from repro.config import (
+    AgentConfig,
+    BCConfig,
+    CoreConfig,
+    EdgeConfig,
+    EstimatorConfig,
+    ExperimentConfig,
+    LagrangianConfig,
+    ModifierConfig,
+    NetworkConfig,
+    PPOConfig,
+    PolicyNetConfig,
+    RANConfig,
+    SliceSLA,
+    SliceSpec,
+    SwitchingConfig,
+    TrafficConfig,
+    TransportConfig,
+)
 from repro.experiments.metrics import MethodResult, TrajectoryPoint
+from repro.scenarios import (
+    EVENT_TYPES,
+    TRAFFIC_MODEL_TYPES,
+    ScenarioSpec,
+    SliceTemplate,
+)
 
 TAG = "__repro__"
+
+#: Declarative dataclasses that round-trip via the generic wrapper.
+DATACLASS_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        # the config object graph
+        AgentConfig, BCConfig, CoreConfig, EdgeConfig, EstimatorConfig,
+        ExperimentConfig, LagrangianConfig, ModifierConfig,
+        NetworkConfig, PPOConfig, PolicyNetConfig, RANConfig, SliceSLA,
+        SliceSpec, SwitchingConfig, TrafficConfig, TransportConfig,
+        # the scenario object graph
+        ScenarioSpec, SliceTemplate, *TRAFFIC_MODEL_TYPES, *EVENT_TYPES,
+    )
+}
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -52,6 +98,12 @@ def to_jsonable(obj: Any) -> Any:
                 "slice_name": obj.slice_name, "app": obj.app,
                 "bin_edges": obj.bin_edges.tolist(),
                 "actions": [a.tolist() for a in obj.actions]}
+    if (dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+            and DATACLASS_TYPES.get(type(obj).__name__) is type(obj)):
+        fields = {f.name: to_jsonable(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return {TAG: "dataclass", "type": type(obj).__name__,
+                "fields": fields}
     if isinstance(obj, dict):
         return {str(k): to_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, tuple):
@@ -82,6 +134,13 @@ def from_jsonable(obj: Any) -> Any:
             return RuleBasedPolicy(
                 obj["slice_name"], obj["app"], obj["bin_edges"],
                 [np.asarray(a, dtype=float) for a in obj["actions"]])
+        if tag == "dataclass":
+            try:
+                cls = DATACLASS_TYPES[obj["type"]]
+            except KeyError:
+                raise ValueError(
+                    f"unknown dataclass tag {obj['type']!r}") from None
+            return cls(**from_jsonable(obj["fields"]))
         return {k: from_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, list):
         return [from_jsonable(v) for v in obj]

@@ -2,8 +2,10 @@
 
 One :class:`ExperimentUnit` is one ``(method, variant, scenario, seed)``
 tuple plus its schedule parameters -- e.g. "train OnSlicing-NB on the
-default scenario with seed 42 for 6 epochs".  Units are plain frozen
-dataclasses so they pickle across process boundaries, and
+flash_crowd scenario with seed 42 for 6 epochs".  Units are plain
+frozen dataclasses so they pickle across process boundaries (scenarios
+travel *by name* and are resolved against the
+:mod:`repro.scenarios` registry on the worker), and
 :func:`execute_unit` is a top-level function so worker processes can
 run them.  Every table/figure generator decomposes into units, submits
 them to a :class:`~repro.runtime.runner.ParallelRunner`, and assembles
@@ -30,22 +32,9 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro import scenarios as scenario_registry
 from repro.config import ExperimentConfig
-from repro.experiments.scenarios import (
-    default_scenario,
-    lte_fixed_mcs_scenario,
-    nr_fixed_mcs_scenario,
-    short_horizon_scenario,
-)
 from repro.runtime.cache import code_version, content_key
-
-#: Named scenario factories a unit may reference (picklable by name).
-SCENARIOS = {
-    "default": default_scenario,
-    "lte_fixed_mcs": lte_fixed_mcs_scenario,
-    "nr_fixed_mcs": nr_fixed_mcs_scenario,
-    "short_horizon": short_horizon_scenario,
-}
 
 #: Figure generators runnable as whole-figure units.  The fan-out
 #: figures (fig3/9/11/13) are *not* here: they decompose into method
@@ -54,6 +43,19 @@ FIGURE_UNITS = ("fig5", "fig6", "fig10", "fig12", "fig14", "fig15",
                 "fig16", "fig17", "fig18", "fig19")
 
 METHODS = ("onslicing", "onrl", "baseline", "model_based", "figure")
+
+#: Methods whose execution actually consumes ``unit.seed`` (the static
+#: baselines derive all randomness from the config's seed).  A seed
+#: override only rewrites these, so it never forces a gratuitous
+#: recompute of seed-independent units.
+SEED_CONSUMING_METHODS = ("onslicing", "onrl")
+
+
+def schedule_epochs(scale: float, full_epochs: int) -> int:
+    """Shrink a full training schedule by ``scale``, floored at the
+    2 epochs every trajectory-shaped artefact needs.  The one schedule
+    rule shared by tables, figures and the robustness matrix."""
+    return max(int(round(full_epochs * scale)), 2)
 
 
 @dataclass(frozen=True)
@@ -72,14 +74,40 @@ class ExperimentUnit:
     #: cache identity comes from :func:`unit_cache_key`, which hashes
     #: the resolved config's full contents.
     cfg: Optional[ExperimentConfig] = field(default=None, compare=False)
+    #: The resolved scenario spec, attached by :func:`make_unit` so the
+    #: unit is self-contained across process boundaries: a worker under
+    #: a spawn/forkserver start method only has the *built-in* registry,
+    #: and a user-registered scenario would otherwise be unresolvable
+    #: there.  Excluded from equality like ``cfg``; the cache key hashes
+    #: its full contents.
+    spec: Optional[Any] = field(default=None, compare=False)
 
     def kwargs(self) -> Dict[str, Any]:
         return dict(self.params)
 
+    def resolve_scenario(self):
+        """The :class:`~repro.scenarios.spec.ScenarioSpec` this unit
+        runs under (``None`` for figure units).
+
+        Prefers the spec carried by the unit (attached at creation, so
+        it travels to worker processes by pickle); falls back to the
+        registry for hand-constructed units.  Resolved even when an
+        explicit ``cfg`` overrides the spec's config: the scenario's
+        traffic model and event timeline still drive the simulator
+        (mirroring the harness semantics), so a custom config on a
+        stress scenario keeps the stress.
+        """
+        if self.method == "figure":
+            return None
+        if self.spec is not None:
+            return self.spec
+        return scenario_registry.get(self.scenario)
+
     def resolve_config(self) -> ExperimentConfig:
         if self.cfg is not None:
             return self.cfg
-        return SCENARIOS[self.scenario]()
+        return self.resolve_scenario().build_config()
+
 
 def make_unit(method: str, variant: str = "full",
               scenario: str = "default", seed: int = 42,
@@ -96,12 +124,13 @@ def make_unit(method: str, variant: str = "full",
         # figure units with make_figure_unit, which forwards *every*
         # keyword to the figure function.
         raise ValueError("use make_figure_unit() for figure units")
-    if cfg is None and scenario not in SCENARIOS:
+    if scenario not in scenario_registry.names():
         raise ValueError(f"unknown scenario {scenario!r}; "
-                         f"expected one of {tuple(SCENARIOS)}")
+                         f"expected one of {scenario_registry.names()}")
     return ExperimentUnit(method=method, variant=variant,
                           scenario=scenario, seed=seed,
-                          params=tuple(sorted(params.items())), cfg=cfg)
+                          params=tuple(sorted(params.items())), cfg=cfg,
+                          spec=scenario_registry.get(scenario))
 
 
 def make_figure_unit(name: str, **params: Any) -> ExperimentUnit:
@@ -115,10 +144,19 @@ def make_figure_unit(name: str, **params: Any) -> ExperimentUnit:
 
 
 def unit_cache_key(unit: ExperimentUnit) -> str:
-    """Content key: config + variant + seed + params + code version."""
+    """Content key: config + scenario spec + variant + seed + params +
+    code version.
+
+    The *resolved* scenario spec (traffic model, event timeline, slice
+    population) is hashed alongside the config: two scenarios with the
+    same infrastructure config but different workloads never share a
+    key, and editing a registered spec invalidates its cached results.
+    """
     cfg = None if unit.method == "figure" else unit.resolve_config()
+    spec = unit.resolve_scenario()
     payload = {
         "config": dataclasses.asdict(cfg) if cfg is not None else None,
+        "scenario_spec": spec,  # tagged-JSON encoded by content_key
         "method": unit.method,
         "variant": unit.variant,
         "scenario": unit.scenario,
@@ -148,12 +186,13 @@ def execute_unit(unit: ExperimentUnit) -> Any:
         from repro.experiments import figures
         return getattr(figures, unit.variant)(**p)
     cfg = unit.resolve_config()
+    spec = unit.resolve_scenario()
     if unit.method == "onslicing":
         bundle = harness.build_onslicing(
             cfg, variant=unit.variant,
             offline_episodes=p.get("offline_episodes", 4),
             exploration_episodes=p.get("exploration_episodes", 6),
-            seed=unit.seed)
+            seed=unit.seed, scenario=spec)
         trajectory = harness.run_online_phase(
             bundle, epochs=p.get("epochs", 12),
             episodes_per_epoch=p.get("episodes_per_epoch", 3),
@@ -176,13 +215,15 @@ def execute_unit(unit: ExperimentUnit) -> Any:
         return harness.run_onrl_phase(
             cfg, epochs=p.get("epochs", 12),
             episodes_per_epoch=p.get("episodes_per_epoch", 3),
-            seed=unit.seed)
+            seed=unit.seed, scenario=spec)
     if unit.method == "baseline":
         return harness.evaluate_static_policies(
             cfg, harness.fit_baselines(cfg),
-            episodes=p.get("episodes", 3), method="Baseline")
+            episodes=p.get("episodes", 3), method="Baseline",
+            scenario=spec)
     if unit.method == "model_based":
         return harness.evaluate_static_policies(
             cfg, harness.make_model_based_policies(cfg),
-            episodes=p.get("episodes", 3), method="Model_Based")
+            episodes=p.get("episodes", 3), method="Model_Based",
+            scenario=spec)
     raise ValueError(f"unknown method {unit.method!r}")

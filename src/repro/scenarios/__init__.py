@@ -1,0 +1,87 @@
+"""Scenario engine: declarative workloads over the simulated testbed.
+
+The paper evaluates OnSlicing on exactly one world -- three slices,
+one diurnal trace, a static network.  This package turns that world
+into a parameter:
+
+* :mod:`repro.scenarios.spec` -- :class:`ScenarioSpec`, a frozen
+  declarative description (slice population, traffic model, event
+  timeline, network overrides) with ``build_config`` /
+  ``build_simulator`` materialisers;
+* :mod:`repro.scenarios.traffic_models` -- compositional envelope
+  generators (diurnal, flash crowd, MMPP on/off, mix drift, file
+  replay);
+* :mod:`repro.scenarios.events` -- mid-episode network events (link
+  degradation, latency surge, background load, slice churn) executed
+  through hooks in :class:`~repro.sim.env.ScenarioSimulator`;
+* :mod:`repro.scenarios.registry` -- the global name -> spec registry
+  experiment units resolve through;
+* :mod:`repro.scenarios.catalog` -- the built-in scenarios
+  (``python -m repro scenarios`` lists them).
+
+Everything here sits *below* the methods/experiments layers: it
+imports only ``repro.config`` and ``repro.sim``.
+"""
+
+from repro.scenarios.events import (
+    EVENT_TYPES,
+    BackgroundLoadStep,
+    LatencySurge,
+    LinkDegradation,
+    NetworkEvent,
+    SliceArrival,
+    SliceDeparture,
+)
+from repro.scenarios.registry import (
+    all_specs,
+    get,
+    names,
+    register,
+    unregister,
+)
+from repro.scenarios.spec import ScenarioSpec, SliceTemplate, population
+from repro.scenarios.traffic_models import (
+    ENVELOPE_MAX,
+    TRAFFIC_MODEL_TYPES,
+    ConstantTraffic,
+    DiurnalTraffic,
+    FlashCrowdTraffic,
+    MixDriftTraffic,
+    OnOffTraffic,
+    ScaledTraffic,
+    TraceReplayTraffic,
+    TrafficModel,
+)
+
+# Register the built-in catalog on import (idempotent per process).
+from repro.scenarios import catalog as _catalog
+from repro.scenarios.catalog import ROBUSTNESS_MATRIX
+
+__all__ = [
+    "ENVELOPE_MAX",
+    "EVENT_TYPES",
+    "ROBUSTNESS_MATRIX",
+    "TRAFFIC_MODEL_TYPES",
+    "BackgroundLoadStep",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "FlashCrowdTraffic",
+    "LatencySurge",
+    "LinkDegradation",
+    "MixDriftTraffic",
+    "NetworkEvent",
+    "OnOffTraffic",
+    "ScaledTraffic",
+    "ScenarioSpec",
+    "SliceArrival",
+    "SliceDeparture",
+    "SliceTemplate",
+    "TraceReplayTraffic",
+    "TrafficModel",
+    "all_specs",
+    "get",
+    "names",
+    "population",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,51 @@
+"""Global scenario registry: ``register`` / ``get`` / ``names``.
+
+The registry maps scenario names to :class:`ScenarioSpec` objects.
+Experiment units carry the resolved spec (so user-registered scenarios
+survive pickling into spawn-context workers) plus the name for
+display, and the unit cache key hashes the spec's tagged-JSON form:
+units built after editing a registered scenario never collide with
+results cached under the old definition, even within one code version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (returns it for chaining)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass replace=True to override")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(names())}") from None
+
+
+def names() -> Tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_specs() -> Tuple[ScenarioSpec, ...]:
+    return tuple(_REGISTRY.values())

@@ -1,0 +1,291 @@
+"""Compositional traffic generators for scenario definitions.
+
+A traffic model produces the per-slot *envelope* of one slice -- the
+normalised arrival rate in ``[0, ENVELOPE_MAX]`` that the simulator
+scales by the slice's ``max_arrival_rate`` and realises through the
+Poisson arrival process.  Models are frozen dataclasses (so scenario
+specs stay hashable and tagged-JSON serialisable) and draw every
+random number from the Generator handed in by the caller, which the
+simulator derives from the experiment seed: the determinism contract
+of the repo holds for every scenario.
+
+Models compose: :class:`FlashCrowdTraffic` and :class:`MixDriftTraffic`
+wrap any base model, and :class:`ScaledTraffic` rescales one -- so
+"a diurnal day with a flash crowd on the MAR slice whose mix drifts
+toward video" is a plain expression over these classes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.config import TrafficConfig
+from repro.scenarios.events import slot_window
+from repro.sim.traffic import MAX_ENVELOPE as ENVELOPE_MAX
+from repro.sim.traffic import TelecomItaliaSynthesizer
+
+
+class TrafficModel:
+    """Interface: per-slice envelope generation.
+
+    ``envelope(slice_index, num_slots, day_index, cfg, rng)`` returns a
+    float array of shape ``(num_slots,)``.  ``day_index`` counts reset
+    episodes so consecutive episodes see consecutive days; ``rng`` is
+    shared across the slices of one episode, so a model must draw a
+    deterministic amount of randomness per call.
+    """
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def _clip(self, trace: np.ndarray) -> np.ndarray:
+        return np.clip(trace, 0.0, ENVELOPE_MAX)
+
+
+@dataclass(frozen=True)
+class DiurnalTraffic(TrafficModel):
+    """The paper's Telecom-Italia-style diurnal day (the default)."""
+
+    start_day_of_week: int = 0
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        synth = TelecomItaliaSynthesizer(cfg, rng=rng)
+        day = (self.start_day_of_week + day_index) % 7
+        return synth.generate(num_slots, day_of_week=day)
+
+
+@dataclass(frozen=True)
+class ConstantTraffic(TrafficModel):
+    """A flat envelope -- useful as a base for event-driven scenarios."""
+
+    level: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= ENVELOPE_MAX:
+            raise ValueError(f"level must be in [0, {ENVELOPE_MAX}]")
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        return np.full(num_slots, self.level)
+
+
+@dataclass(frozen=True)
+class ScaledTraffic(TrafficModel):
+    """Multiply a base model's envelope by a constant factor."""
+
+    base: TrafficModel = field(default_factory=DiurnalTraffic)
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        base = self.base.envelope(slice_index, num_slots, day_index,
+                                  cfg, rng)
+        return self._clip(base * self.scale)
+
+
+@dataclass(frozen=True)
+class FlashCrowdTraffic(TrafficModel):
+    """A sudden crowd: the base envelope is multiplied by ``magnitude``
+    inside a window of the episode (e.g. a stadium event).
+
+    ``slice_indices`` limits the spike to some slices (``None`` = all);
+    the window is positioned by fractions of the horizon like events.
+    """
+
+    base: TrafficModel = field(default_factory=DiurnalTraffic)
+    at_fraction: float = 0.45
+    duration_fraction: float = 0.15
+    magnitude: float = 3.0
+    slice_indices: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be in [0, 1]")
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError("duration_fraction must be in (0, 1]")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        trace = np.array(self.base.envelope(
+            slice_index, num_slots, day_index, cfg, rng))
+        if (self.slice_indices is not None
+                and slice_index not in self.slice_indices):
+            return self._clip(trace)
+        start, stop = slot_window(self.at_fraction,
+                                  self.duration_fraction, num_slots)
+        trace[start:stop] *= self.magnitude
+        return self._clip(trace)
+
+
+@dataclass(frozen=True)
+class OnOffTraffic(TrafficModel):
+    """Bursty on/off envelope: a two-state Markov-modulated process.
+
+    Sojourn times in each state are geometric with the given means (in
+    slots) -- the slot-resolution analogue of an MMPP source.  Light
+    log-normal jitter keeps the plateaus from being perfectly flat.
+    """
+
+    on_level: float = 1.0
+    off_level: float = 0.1
+    mean_on_slots: float = 8.0
+    mean_off_slots: float = 12.0
+    jitter_sigma: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.off_level <= self.on_level <= ENVELOPE_MAX:
+            raise ValueError(
+                "levels must satisfy 0 <= off <= on <= "
+                f"{ENVELOPE_MAX}")
+        if self.mean_on_slots < 1.0 or self.mean_off_slots < 1.0:
+            raise ValueError("mean sojourn times must be >= 1 slot")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        p_leave_on = 1.0 / self.mean_on_slots
+        p_leave_off = 1.0 / self.mean_off_slots
+        # One uniform per slot keeps the rng budget fixed regardless of
+        # the realised state sequence.
+        flips = rng.uniform(size=num_slots)
+        jitter = rng.lognormal(
+            mean=-0.5 * self.jitter_sigma ** 2,
+            sigma=self.jitter_sigma, size=num_slots) \
+            if self.jitter_sigma > 0 else np.ones(num_slots)
+        on = bool(flips[0] < 0.5)
+        trace = np.empty(num_slots)
+        for t in range(num_slots):
+            trace[t] = self.on_level if on else self.off_level
+            if flips[t] < (p_leave_on if on else p_leave_off):
+                on = not on
+        return self._clip(trace * jitter)
+
+
+@dataclass(frozen=True)
+class MixDriftTraffic(TrafficModel):
+    """Traffic-mix drift: slice envelopes ramp in opposite directions
+    over the episode, shifting which application dominates.
+
+    Even slice indices ramp from 1 to ``1 + drift``; odd indices ramp
+    from 1 to ``max(1 - drift, floor)``.  A drift of 0.8 roughly swaps
+    the dominant slice by the end of the day.
+    """
+
+    base: TrafficModel = field(default_factory=DiurnalTraffic)
+    drift: float = 0.8
+    floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.drift < 0:
+            raise ValueError("drift must be >= 0")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        trace = np.array(self.base.envelope(
+            slice_index, num_slots, day_index, cfg, rng))
+        progress = (np.arange(num_slots) / max(num_slots - 1, 1))
+        if slice_index % 2 == 0:
+            ramp = 1.0 + self.drift * progress
+        else:
+            ramp = np.maximum(1.0 - self.drift * progress, self.floor)
+        return self._clip(trace * ramp)
+
+
+#: Parsed replay traces, keyed by (path, column, mtime, size).
+_REPLAY_CACHE: dict = {}
+
+
+@dataclass(frozen=True)
+class TraceReplayTraffic(TrafficModel):
+    """Replay a measured trace from a file (``.npy``, ``.csv``, or
+    ``.json`` holding a numeric array / list of rows).
+
+    The trace is resampled to the episode length with linear
+    interpolation and, when ``normalize`` is set, rescaled so its peak
+    is 1.0.  ``column`` selects a column of 2-D inputs (e.g. one base
+    station of a Telecom-Italia export); slices replay the same
+    envelope -- wrap in :class:`ScaledTraffic` / compose per-slice
+    scenarios for heterogeneous replays.
+    """
+
+    path: str = ""
+    column: int = 0
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("path must name a trace file")
+
+    def _load(self) -> np.ndarray:
+        if not os.path.exists(self.path):
+            raise FileNotFoundError(
+                f"trace file not found: {self.path!r}")
+        # One read per file version: envelope() runs once per slice per
+        # episode, far too often to re-parse an immutable trace.
+        stat = os.stat(self.path)
+        key = (os.path.abspath(self.path), self.column,
+               stat.st_mtime_ns, stat.st_size)
+        cached = _REPLAY_CACHE.get(key)
+        if cached is not None:
+            return cached
+        ext = os.path.splitext(self.path)[1].lower()
+        if ext == ".npy":
+            data = np.load(self.path, allow_pickle=False)
+        elif ext == ".csv":
+            data = np.loadtxt(self.path, delimiter=",", ndmin=1)
+        elif ext == ".json":
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = np.asarray(json.load(fh), dtype=float)
+        else:
+            raise ValueError(
+                f"unsupported trace format {ext!r} "
+                "(expected .npy, .csv, or .json)")
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 2:
+            data = data[:, self.column]
+        if data.ndim != 1 or data.size < 2:
+            raise ValueError(
+                "trace must be a 1-D series with >= 2 points")
+        data.setflags(write=False)  # shared across instances
+        _REPLAY_CACHE[key] = data
+        return data
+
+    def envelope(self, slice_index: int, num_slots: int,
+                 day_index: int, cfg: TrafficConfig,
+                 rng: np.random.Generator) -> np.ndarray:
+        data = self._load()
+        if self.normalize:
+            peak = float(np.max(np.abs(data)))
+            if peak > 0:
+                data = data / peak
+        src = np.linspace(0.0, 1.0, data.size)
+        dst = np.linspace(0.0, 1.0, num_slots)
+        return self._clip(np.interp(dst, src, data))
+
+
+TRAFFIC_MODEL_TYPES = (DiurnalTraffic, ConstantTraffic, ScaledTraffic,
+                       FlashCrowdTraffic, OnOffTraffic,
+                       MixDriftTraffic, TraceReplayTraffic)

@@ -19,19 +19,27 @@ training and unit tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.config import ExperimentConfig, NUM_ACTIONS
+from repro.config import ExperimentConfig, NUM_ACTIONS, slice_spec_for_app
 from repro.sim.network import EndToEndNetwork, SlotReport
-from repro.sim.traffic import PoissonArrivals, TelecomItaliaSynthesizer
+from repro.sim.traffic import (
+    MAX_ENVELOPE,
+    PoissonArrivals,
+    TelecomItaliaSynthesizer,
+)
 
 #: Number of features in the observation vector.
 STATE_DIM = 9
 
 #: Measurement window (seconds) over which slot arrivals are realised.
 ARRIVAL_WINDOW_S = 60.0
+
+#: Event kinds that change transport-fabric conditions while active.
+_CONDITION_EVENT_KINDS = ("link_degradation", "latency_surge",
+                          "background_load")
 
 
 @dataclass(frozen=True)
@@ -68,10 +76,22 @@ class SliceStepResult:
 
 
 class ScenarioSimulator:
-    """Joint multi-slice episode driver over :class:`EndToEndNetwork`."""
+    """Joint multi-slice episode driver over :class:`EndToEndNetwork`.
+
+    Beyond the paper's fixed world, the simulator executes a *scenario*:
+    an optional traffic model replaces the built-in diurnal synthesizer
+    per slice, and an event timeline (duck-typed objects carrying a
+    ``kind`` tag -- see :mod:`repro.scenarios.events`) injects
+    mid-episode network faults and slice churn.  Churn events manage
+    *background* slices: the simulator provisions them end to end,
+    drives them with a fixed allocation, and keeps them out of the
+    per-slice results, so learning agents see only resource pressure.
+    """
 
     def __init__(self, cfg: Optional[ExperimentConfig] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 traffic_model=None,
+                 events: Sequence = ()) -> None:
         self.cfg = cfg or ExperimentConfig()
         self._rng = rng if rng is not None else np.random.default_rng(
             self.cfg.seed)
@@ -81,6 +101,15 @@ class ScenarioSimulator:
                                                rng=self._rng)
         self._arrivals = PoissonArrivals(rng=self._rng)
         self.horizon = self.cfg.traffic.slots_per_episode
+        self._traffic_model = traffic_model
+        self._events = tuple(events)
+        for event in self._events:
+            if getattr(event, "kind", None) not in (
+                    _CONDITION_EVENT_KINDS
+                    + ("slice_arrival", "slice_departure")):
+                raise ValueError(f"unknown event kind on {event!r}")
+        self._active_events: List = []
+        self._event_slices: Dict[str, np.ndarray] = {}
         self._traces: Dict[str, np.ndarray] = {}
         self._slot = 0
         self._day = 0
@@ -90,19 +119,124 @@ class ScenarioSimulator:
 
     @property
     def slice_names(self) -> List[str]:
-        return self.network.slice_names
+        """The managed (agent-facing) slices -- churn slices excluded."""
+        return [name for name in self.network.slice_names
+                if name not in self._event_slices]
+
+    @property
+    def background_slice_names(self) -> List[str]:
+        """Slices attached by churn events, driven by the simulator."""
+        return list(self._event_slices)
+
+    @property
+    def active_events(self) -> List:
+        return list(self._active_events)
 
     @property
     def slot(self) -> int:
         return self._slot
 
+    # ---- event timeline --------------------------------------------------
+
+    def _remove_event_slice(self, name: str) -> None:
+        if name in self._event_slices:
+            self.network.remove_slice(name)
+            del self._event_slices[name]
+            self._traces.pop(name, None)
+
+    def _activate(self, event) -> None:
+        if event.kind == "slice_arrival":
+            name = event.slice_name
+            if name in self.network.slices:
+                raise ValueError(
+                    f"slice arrival {name!r} collides with an "
+                    "existing slice")
+            spec = slice_spec_for_app(event.app, name=name,
+                                      arrival_scale=event.arrival_scale)
+            self.network.add_slice(spec)
+            self._event_slices[name] = np.full(NUM_ACTIONS,
+                                               event.action_level)
+            self._traces[name] = np.ones(self.horizon)
+            self._active_events.append(event)
+        elif event.kind == "slice_departure":
+            if (event.slice_name in self.network.slices
+                    and event.slice_name not in self._event_slices):
+                raise ValueError(
+                    f"cannot depart managed slice {event.slice_name!r};"
+                    " churn applies to background slices only")
+            self._remove_event_slice(event.slice_name)
+            # also retire the arrival so its own expiry is a no-op
+            self._active_events = [
+                e for e in self._active_events
+                if not (e.kind == "slice_arrival"
+                        and e.slice_name == event.slice_name)]
+        else:
+            self._active_events.append(event)
+
+    def _deactivate(self, event) -> None:
+        self._active_events.remove(event)
+        if event.kind == "slice_arrival":
+            self._remove_event_slice(event.slice_name)
+
+    def _refresh_conditions(self) -> None:
+        scale, extra, load = 1.0, 0.0, 0.0
+        for event in self._active_events:
+            if event.kind == "link_degradation":
+                scale *= event.capacity_scale
+            elif event.kind == "latency_surge":
+                extra += event.extra_latency_ms
+            elif event.kind == "background_load":
+                load += event.load_fraction
+        self.network.set_transport_conditions(
+            capacity_scale=scale, extra_latency_ms=extra,
+            background_load_fraction=min(load, 0.95))
+
+    def _apply_events(self) -> None:
+        """Expire finished events and fire the ones due this slot."""
+        if not self._events:
+            return
+        for event in list(self._active_events):
+            if self._slot >= event.end_slot(self.horizon):
+                self._deactivate(event)
+        for event in self._events:
+            if (event.start_slot(self.horizon) == self._slot
+                    and event not in self._active_events):
+                self._activate(event)
+        self._refresh_conditions()
+
+    # ---- episode lifecycle -----------------------------------------------
+
+    def _generate_traces(self) -> Dict[str, np.ndarray]:
+        if self._traffic_model is None:
+            return {
+                name: self._synth.generate(day_of_week=self._day % 7)
+                for name in self.slice_names
+            }
+        traces: Dict[str, np.ndarray] = {}
+        for index, name in enumerate(self.slice_names):
+            envelope = np.asarray(self._traffic_model.envelope(
+                index, self.horizon, self._day, self.cfg.traffic,
+                self._rng), dtype=float)
+            if envelope.shape != (self.horizon,):
+                raise ValueError(
+                    f"traffic model returned shape {envelope.shape}, "
+                    f"expected ({self.horizon},)")
+            traces[name] = np.clip(envelope, 0.0, MAX_ENVELOPE)
+        return traces
+
     def reset(self) -> Dict[str, SliceObservation]:
-        """Start a new 24 h episode with fresh traffic traces."""
+        """Start a new 24 h episode with fresh traffic traces.
+
+        Restores the nominal world first: active events end, churn
+        slices detach, and transport conditions clear -- the timeline
+        replays relative to each episode.
+        """
         self._slot = 0
-        self._traces = {
-            name: self._synth.generate(day_of_week=self._day % 7)
-            for name in self.slice_names
-        }
+        self._active_events = []
+        for name in list(self._event_slices):
+            self._remove_event_slice(name)
+        self.network.clear_transport_conditions()
+        self._traces = self._generate_traces()
         self._day += 1
         self._cum_cost = {name: 0.0 for name in self.slice_names}
         observations = {}
@@ -140,13 +274,20 @@ class ScenarioSimulator:
         """
         if self._slot >= self.horizon:
             raise RuntimeError("episode finished; call reset()")
+        self._apply_events()
         self.network.step_channels()
         rates = {name: self.realized_rate(name)
-                 for name in self.slice_names}
-        reports = self.network.evaluate_slot(dict(actions), rates)
+                 for name in self.network.slice_names}
+        joint = {name: np.asarray(action, dtype=float)
+                 for name, action in actions.items()}
+        for name, action in self._event_slices.items():
+            joint.setdefault(name, action)
+        reports = self.network.evaluate_slot(joint, rates)
         self._slot += 1
         results: Dict[str, SliceStepResult] = {}
         for name, report in reports.items():
+            if name in self._event_slices:
+                continue    # background churn slice: not reported
             spec = self.network.slices[name]
             self._cum_cost[name] += report.cost
             horizon_cost = self.horizon * spec.sla.cost_threshold
@@ -170,7 +311,7 @@ class ScenarioSimulator:
             results[name] = SliceStepResult(
                 observation=obs, reward=-report.usage,
                 cost=report.cost, usage=report.usage, report=report)
-        self._last_rates = rates
+        self._last_rates = {name: rates[name] for name in results}
         return results
 
     @property

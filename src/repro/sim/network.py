@@ -167,6 +167,25 @@ class EndToEndNetwork:
     def slice_names(self) -> List[str]:
         return list(self.slices)
 
+    # ---- scenario event hooks -----------------------------------------
+
+    def set_transport_conditions(
+            self, capacity_scale: Optional[float] = None,
+            extra_latency_ms: Optional[float] = None,
+            background_load_fraction: Optional[float] = None) -> None:
+        """Inject transport-network faults (see scenario events).
+
+        ``None`` leaves a condition unchanged; use
+        :meth:`clear_transport_conditions` to restore nominal state.
+        """
+        self.fabric.set_conditions(
+            capacity_scale=capacity_scale,
+            extra_latency_ms=extra_latency_ms,
+            background_load_fraction=background_load_fraction)
+
+    def clear_transport_conditions(self) -> None:
+        self.fabric.clear_conditions()
+
     # ---- constraint accounting ----------------------------------------
 
     @staticmethod
@@ -220,7 +239,7 @@ class EndToEndNetwork:
             self.fabric.reserve(
                 alloc.transport_path,
                 alloc.transport_bandwidth
-                * self.fabric.cfg.link_capacity_bps)
+                * self.fabric.effective_capacity_bps())
         reports: Dict[str, SlotReport] = {}
         for name, alloc in allocations.items():
             reports[name] = self._evaluate_slice(

@@ -20,6 +20,13 @@ import numpy as np
 
 from repro.config import TrafficConfig
 
+#: Hard ceiling on normalised traffic envelopes.  The diurnal
+#: synthesizer clips at 1.2x peak; scenario stress models (flash
+#: crowds) may go further, up to a slice offering double its nominal
+#: peak load.  The simulator and every traffic model clip against this
+#: one constant.
+MAX_ENVELOPE = 2.0
+
 
 class TelecomItaliaSynthesizer:
     """Synthetic cellular-traffic envelope generator.
@@ -32,7 +39,8 @@ class TelecomItaliaSynthesizer:
     def __init__(self, cfg: Optional[TrafficConfig] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
         self.cfg = cfg or TrafficConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(11)
+        self._rng = (rng if rng is not None
+                     else np.random.default_rng(self.cfg.seed))
 
     def diurnal_profile(self, hour: np.ndarray) -> np.ndarray:
         """Deterministic double-peak daily shape in [night_floor, 1]."""
@@ -51,33 +59,42 @@ class TelecomItaliaSynthesizer:
         num_slots:
             Trace length; defaults to one episode (96 x 15 min).
         day_of_week:
-            0 = Monday ... 6 = Sunday; weekends are dampened by the
-            weekly modulation factor.
+            0 = Monday ... 6 = Sunday for the *first* slot; traces
+            longer than a day advance the weekday across midnight, so
+            only the slots that actually fall on a weekend are dampened
+            by the weekly modulation factor.
         """
         cfg = self.cfg
         n = num_slots if num_slots is not None else cfg.slots_per_episode
         if n <= 0:
             raise ValueError("num_slots must be positive")
         slot_hours = cfg.slot_minutes / 60.0
-        hours = (np.arange(n) * slot_hours) % 24.0
-        profile = self.diurnal_profile(hours)
-        if day_of_week >= 5:
-            profile = profile * (1.0 - cfg.weekly_modulation)
+        absolute_hours = np.arange(n) * slot_hours
+        profile = self.diurnal_profile(absolute_hours % 24.0)
+        days = (day_of_week + absolute_hours // 24.0).astype(int) % 7
+        profile = np.where(days >= 5,
+                           profile * (1.0 - cfg.weekly_modulation),
+                           profile)
         noise = self._rng.lognormal(
             mean=-0.5 * cfg.noise_sigma ** 2, sigma=cfg.noise_sigma,
             size=n)
         return np.clip(profile * noise, 0.0, 1.2)
 
+    def slots_per_day(self) -> int:
+        """Number of slots in 24 hours at the configured cadence."""
+        return max(int(round(24.0 * 60.0 / self.cfg.slot_minutes)), 1)
+
     def generate_days(self, num_days: int,
                       start_day_of_week: int = 0) -> np.ndarray:
-        """Concatenate full-day traces covering ``num_days`` days."""
+        """One contiguous trace covering ``num_days`` full days.
+
+        A single :meth:`generate` call so weekday bookkeeping (and the
+        noise stream) is continuous across day boundaries.
+        """
         if num_days <= 0:
             raise ValueError("num_days must be positive")
-        traces = [
-            self.generate(day_of_week=(start_day_of_week + d) % 7)
-            for d in range(num_days)
-        ]
-        return np.concatenate(traces)
+        return self.generate(num_days * self.slots_per_day(),
+                             day_of_week=start_day_of_week)
 
 
 class PoissonArrivals:

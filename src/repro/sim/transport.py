@@ -66,10 +66,54 @@ class TransportFabric:
         self._path_hops: List[int] = [
             2 + extra for extra in self.cfg.path_extra_hops]
         self._path_load_bps = np.zeros(self.cfg.num_paths)
+        # Mutable link conditions, driven by scenario events (fault
+        # injection): a capacity degradation factor, added forwarding
+        # latency, and cross-traffic that loads every path before the
+        # slices reserve anything.
+        self.capacity_scale = 1.0
+        self.extra_latency_ms = 0.0
+        self.background_load_fraction = 0.0
 
     @property
     def num_paths(self) -> int:
         return self.cfg.num_paths
+
+    # ---- scenario event hooks -----------------------------------------
+
+    def set_conditions(self, capacity_scale: Optional[float] = None,
+                       extra_latency_ms: Optional[float] = None,
+                       background_load_fraction: Optional[float] = None
+                       ) -> None:
+        """Update the fabric's fault-injection state (``None`` = keep).
+
+        ``capacity_scale`` in (0, 1] derates every link (e.g. a port
+        renegotiating to a lower speed), ``extra_latency_ms`` models a
+        forwarding-plane latency surge, and ``background_load_fraction``
+        in [0, 1) pre-loads each path with unmanaged cross-traffic.
+        """
+        if capacity_scale is not None:
+            if not 0.0 < capacity_scale <= 1.0:
+                raise ValueError("capacity_scale must be in (0, 1]")
+            self.capacity_scale = float(capacity_scale)
+        if extra_latency_ms is not None:
+            if extra_latency_ms < 0:
+                raise ValueError("extra_latency_ms must be >= 0")
+            self.extra_latency_ms = float(extra_latency_ms)
+        if background_load_fraction is not None:
+            if not 0.0 <= background_load_fraction < 1.0:
+                raise ValueError(
+                    "background_load_fraction must be in [0, 1)")
+            self.background_load_fraction = float(background_load_fraction)
+
+    def clear_conditions(self) -> None:
+        """Restore nominal link conditions (no active events)."""
+        self.capacity_scale = 1.0
+        self.extra_latency_ms = 0.0
+        self.background_load_fraction = 0.0
+
+    def effective_capacity_bps(self) -> float:
+        """Per-link capacity under the current degradation factor."""
+        return self.cfg.link_capacity_bps * self.capacity_scale
 
     def path_index_from_action(self, value: float) -> int:
         """Map the continuous ``U_l`` action in [0, 1] to a path index."""
@@ -83,8 +127,9 @@ class TransportFabric:
         return self._path_hops[path_index]
 
     def reset_loads(self) -> None:
-        """Clear reserved load at the start of a slot."""
-        self._path_load_bps.fill(0.0)
+        """Reset per-path load to the background level for a new slot."""
+        self._path_load_bps.fill(self.background_load_fraction
+                                 * self.effective_capacity_bps())
 
     def reserve(self, path_index: int, rate_bps: float) -> None:
         """Account a slice's metered reservation on a path."""
@@ -94,7 +139,7 @@ class TransportFabric:
 
     def path_utilization(self, path_index: int) -> float:
         return float(self._path_load_bps[path_index]
-                     / self.cfg.link_capacity_bps)
+                     / self.effective_capacity_bps())
 
     def evaluate(self, path_index: int, meter_share: float,
                  offered_bps: float) -> TransportReport:
@@ -106,13 +151,14 @@ class TransportFabric:
         (keeps latency finite but sharply increasing near saturation).
         """
         meter_share = float(np.clip(meter_share, 0.0, 1.0))
-        cap = meter_share * self.cfg.link_capacity_bps
+        cap = meter_share * self.effective_capacity_bps()
         achieved = min(offered_bps, cap)
         hops = self.path_hops(path_index)
         utilization = min(self.path_utilization(path_index), 0.99)
         queueing_ms = (self.cfg.hop_latency_ms * utilization
                        / (1.0 - utilization))
-        latency = hops * self.cfg.hop_latency_ms + queueing_ms
+        latency = (hops * self.cfg.hop_latency_ms + queueing_ms
+                   + self.extra_latency_ms)
         if cap <= 0 and offered_bps > 0:
             latency = float("inf")
         return TransportReport(
