@@ -1,0 +1,89 @@
+"""Serving throughput: micro-batched vs single-request inference.
+
+The decision service's core claim (repo extension toward the ROADMAP's
+"fast as the hardware allows"): grouping a 50-slice cell's requests
+into one vectorised :meth:`~repro.nn.network.MLP.predict_batch` call
+per policy must beat running the same 50 requests through the
+single-state path by a wide margin.  The gate is >= 3x; on a typical
+machine the measured ratio is far higher.
+
+Both paths serve identical requests through identical snapshots
+(coordination included), so the ratio isolates batching.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments.harness import make_onrl_agents
+from repro.scenarios import get as get_scenario
+from repro.serve import DecisionRequest, SlicingService, snapshot_onrl
+from repro.serve.loadgen import scenario_with_population
+
+SLICES = 50
+SLOTS = 40
+
+#: The acceptance gate: batched decisions/sec over unbatched.
+MIN_SPEEDUP = 3.0
+
+
+def _make_service(batching: bool) -> SlicingService:
+    base_cfg = get_scenario("default").build_config()
+    snapshot = snapshot_onrl(
+        "bench-serve", base_cfg,
+        make_onrl_agents(base_cfg, seed=11), seed=11)
+    target = scenario_with_population(get_scenario("default"), SLICES)
+    return SlicingService(snapshot, cfg=target.build_config(),
+                          batching=batching, rng_seed=0)
+
+
+def _make_requests(service: SlicingService):
+    rng = np.random.default_rng(5)
+    return [
+        [DecisionRequest(slice_name=name,
+                         state=rng.uniform(0.0, 1.0, size=9))
+         for name in service.slice_names]
+        for _ in range(SLOTS)
+    ]
+
+
+def _drive(service: SlicingService, slots) -> float:
+    start = time.perf_counter()
+    for requests in slots:
+        service.decide(requests)
+    return time.perf_counter() - start
+
+
+def test_serve_batched_vs_unbatched(benchmark):
+    batched = _make_service(batching=True)
+    unbatched = _make_service(batching=False)
+    slots = _make_requests(batched)
+    # one warm-up slot each: numpy buffers, coordinator warm start
+    _drive(batched, slots[:1])
+    _drive(unbatched, slots[:1])
+
+    batched_s = run_once(benchmark, _drive, batched, slots)
+    unbatched_s = _drive(unbatched, slots)
+
+    decisions = SLOTS * SLICES
+    batched_rate = decisions / batched_s
+    unbatched_rate = decisions / unbatched_s
+    speedup = batched_rate / unbatched_rate
+    print(f"\nServing throughput at {SLICES} slices "
+          f"({decisions} decisions):")
+    print(f"  batched    {batched_rate:12,.0f} decisions/s")
+    print(f"  unbatched  {unbatched_rate:12,.0f} decisions/s")
+    print(f"  speedup    {speedup:12.1f}x  (gate: "
+          f">= {MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP
+
+    # same snapshot, same states -> same allocations either way
+    sample = slots[0]
+    batched_d = batched.decide(sample)
+    unbatched_d = unbatched.decide(sample)
+    for name in batched_d:
+        np.testing.assert_allclose(batched_d[name].action,
+                                   unbatched_d[name].action,
+                                   atol=1e-9)

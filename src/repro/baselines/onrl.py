@@ -90,6 +90,21 @@ class OnRLAgent:
     def end_episode(self) -> None:
         self.buffer.end_episode(bootstrap_value=0.0)
 
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Learnable state (actor, critic, Gaussian head) by name.
+
+        Arrays are copies; pair with :meth:`load_state_dict` for exact
+        round-trips (the policy store serialises these through the
+        runtime's tagged-JSON scheme).
+        """
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore weights exported by :meth:`state_dict` in place."""
+        self.model.load_state_dict(state)
+
     def maybe_update(self) -> Optional[Dict[str, float]]:
         """Run a PPO update when enough transitions are stored."""
         if len(self.buffer) < self.cfg.update_threshold:

@@ -307,6 +307,88 @@ def make_model_based_policies(cfg: ExperimentConfig
 # ---- OnRL ------------------------------------------------------------
 
 
+def make_onrl_agents(cfg: ExperimentConfig, seed: int = 17,
+                     onrl_cfg: Optional[OnRLConfig] = None
+                     ) -> Dict[str, OnRLAgent]:
+    """Per-slice learn-from-scratch OnRL agents (paper Sec. 7.1)."""
+    return {
+        spec.name: OnRLAgent(
+            spec.name, STATE_DIM, 10, cfg=onrl_cfg,
+            rng=np.random.default_rng(seed + i))
+        for i, spec in enumerate(cfg.slices)
+    }
+
+
+def run_onrl_episode(simulator: ScenarioSimulator,
+                     agents: Dict[str, OnRLAgent],
+                     learn: bool = True,
+                     deterministic: bool = False
+                     ) -> Dict[str, Dict[str, float]]:
+    """One joint episode under independent OnRL agents + projection.
+
+    Returns per-slice ``{"cost", "usage"}`` totals.  With
+    ``learn=False`` actions are taken but never observed (the Table 1
+    deterministic-test protocol); the caller owns ``end_episode``.
+    """
+    observations = simulator.reset()
+    totals = {n: {"cost": 0.0, "usage": 0.0} for n in agents}
+    while not simulator.done:
+        proposals = {
+            name: agent.act(observations[name].vector(),
+                            deterministic=deterministic)
+            for name, agent in agents.items()
+        }
+        if not learn:
+            for agent in agents.values():
+                agent.discard_pending()  # test only, no learning
+        actions = project_actions(proposals)
+        results = simulator.step(actions)
+        for name, result in results.items():
+            if learn:
+                agents[name].observe(result.reward, result.cost)
+            totals[name]["cost"] += result.cost
+            totals[name]["usage"] += result.usage
+            observations[name] = result.observation
+        if learn:
+            for agent in agents.values():
+                agent.maybe_update()
+    return totals
+
+
+def train_onrl(cfg: ExperimentConfig, epochs: int = 12,
+               episodes_per_epoch: int = 3, seed: int = 17,
+               onrl_cfg: Optional[OnRLConfig] = None,
+               scenario=None) -> Dict[str, object]:
+    """The OnRL online phase, returning the trained agents.
+
+    The "train once" half of the snapshot path: the policy store
+    snapshots the returned agents and later runs (robustness sweeps,
+    the decision service) evaluate from the snapshot instead of
+    retraining.  Returns ``{"agents", "simulator", "trajectory"}``.
+    """
+    simulator = make_simulator(cfg, scenario)
+    agents = make_onrl_agents(cfg, seed=seed, onrl_cfg=onrl_cfg)
+    trajectory: List[TrajectoryPoint] = []
+    for epoch in range(epochs):
+        usages, violations = [], []
+        for _ in range(episodes_per_epoch):
+            totals = run_onrl_episode(simulator, agents, learn=True)
+            for agent in agents.values():
+                agent.end_episode()
+            horizon = simulator.horizon
+            for spec in cfg.slices:
+                usages.append(totals[spec.name]["usage"] / horizon)
+                violations.append(float(
+                    totals[spec.name]["cost"] / horizon
+                    > spec.sla.cost_threshold))
+        trajectory.append(TrajectoryPoint(
+            epoch=epoch, mean_usage=float(np.mean(usages)),
+            mean_cost=0.0,
+            violation_rate=float(np.mean(violations))))
+    return {"agents": agents, "simulator": simulator,
+            "trajectory": trajectory}
+
+
 def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
                    epochs: int = 12, episodes_per_epoch: int = 3,
                    seed: int = 17,
@@ -321,64 +403,17 @@ def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
     if cfg is None:
         cfg = (scenario.build_config() if scenario is not None
                else ExperimentConfig())
-    simulator = make_simulator(cfg, scenario)
-    agents = {
-        spec.name: OnRLAgent(
-            spec.name, STATE_DIM, 10, cfg=onrl_cfg,
-            rng=np.random.default_rng(seed + i))
-        for i, spec in enumerate(cfg.slices)
-    }
-    trajectory: List[TrajectoryPoint] = []
-    for epoch in range(epochs):
-        usages, violations = [], []
-        for _ in range(episodes_per_epoch):
-            observations = simulator.reset()
-            totals = {n: {"cost": 0.0, "usage": 0.0} for n in agents}
-            while not simulator.done:
-                proposals = {
-                    name: agent.act(observations[name].vector())
-                    for name, agent in agents.items()
-                }
-                actions = project_actions(proposals)
-                results = simulator.step(actions)
-                for name, result in results.items():
-                    agents[name].observe(result.reward, result.cost)
-                    totals[name]["cost"] += result.cost
-                    totals[name]["usage"] += result.usage
-                    observations[name] = result.observation
-                for agent in agents.values():
-                    agent.maybe_update()
-            for agent in agents.values():
-                agent.end_episode()
-            horizon = simulator.horizon
-            for spec in cfg.slices:
-                usages.append(totals[spec.name]["usage"] / horizon)
-                violations.append(float(
-                    totals[spec.name]["cost"] / horizon
-                    > spec.sla.cost_threshold))
-        trajectory.append(TrajectoryPoint(
-            epoch=epoch, mean_usage=float(np.mean(usages)),
-            mean_cost=0.0,
-            violation_rate=float(np.mean(violations))))
+    trained = train_onrl(cfg, epochs=epochs,
+                         episodes_per_epoch=episodes_per_epoch,
+                         seed=seed, onrl_cfg=onrl_cfg,
+                         scenario=scenario)
+    agents = trained["agents"]
+    simulator = trained["simulator"]
     # deterministic test episodes
     test_usages, test_violations = [], []
     for _ in range(3):
-        observations = simulator.reset()
-        totals = {n: {"cost": 0.0, "usage": 0.0} for n in agents}
-        while not simulator.done:
-            proposals = {
-                name: agent.act(observations[name].vector(),
-                                deterministic=True)
-                for name, agent in agents.items()
-            }
-            for agent in agents.values():
-                agent.discard_pending()  # test only, no learning
-            actions = project_actions(proposals)
-            results = simulator.step(actions)
-            for name, result in results.items():
-                totals[name]["cost"] += result.cost
-                totals[name]["usage"] += result.usage
-                observations[name] = result.observation
+        totals = run_onrl_episode(simulator, agents, learn=False,
+                                  deterministic=True)
         horizon = simulator.horizon
         for spec in cfg.slices:
             test_usages.append(totals[spec.name]["usage"] / horizon)
@@ -390,4 +425,4 @@ def run_onrl_phase(cfg: Optional[ExperimentConfig] = None,
         avg_resource_usage=usage_percent(float(np.mean(test_usages))),
         avg_sla_violation=violation_percent(
             float(np.mean(test_violations))),
-        trajectory=trajectory)
+        trajectory=trained["trajectory"])

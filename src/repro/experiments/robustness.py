@@ -36,7 +36,8 @@ def robustness(scale: float = 0.25,
                scenarios: Optional[Sequence[str]] = None,
                methods: Optional[Sequence[str]] = None,
                seed: int = 42,
-               scenario: Optional[str] = None) -> Dict[str, dict]:
+               scenario: Optional[str] = None,
+               snapshot_store: Optional[str] = None) -> Dict[str, dict]:
     """Sweep ``methods`` x ``scenarios`` and tabulate usage/violation.
 
     ``scale`` shrinks every training schedule like the table
@@ -48,6 +49,15 @@ def robustness(scale: float = 0.25,
     lowest violation among the learners, the static baselines pay
     their fixed over-provisioning, and OnRL's violations grow with
     non-stationarity.
+
+    ``snapshot_store`` switches the learners to the train-once path:
+    each learning method trains a *single* policy on the paper world
+    (snapshotted into the given :class:`~repro.serve.policy_store
+    .PolicyStore` directory, reused if already there) and every
+    scenario row evaluates that snapshot through the decision service
+    -- N scenarios cost one training run instead of N.  This measures
+    *transfer* of one trained policy, whereas the default re-trains
+    per scenario and measures online adaptation.
     """
     from repro.scenarios import ROBUSTNESS_MATRIX, get as get_scenario
 
@@ -70,11 +80,25 @@ def robustness(scale: float = 0.25,
     exploration = max(int(round(6 * scale)), 1)
     episodes = max(int(round(3 * scale)), 1)
 
+    snapshots = {}
+    if snapshot_store is not None:
+        snapshots = _ensure_snapshots(
+            snapshot_store, [m for m in chosen
+                             if m in ("onslicing", "onrl")],
+            scale=scale, seed=seed)
+
     units = []
     labels = []
     for name in names:
         for method in chosen:
-            if method == "onslicing":
+            if method in snapshots:
+                snapshot = snapshots[method]
+                unit = make_unit(
+                    "snapshot_eval", variant=method, scenario=name,
+                    seed=seed, store=snapshot_store,
+                    snapshot=snapshot.ref, digest=snapshot.digest,
+                    episodes=episodes)
+            elif method == "onslicing":
                 unit = make_unit(
                     "onslicing", scenario=name, seed=seed,
                     epochs=epochs, episodes_per_epoch=2,
@@ -103,3 +127,46 @@ def robustness(scale: float = 0.25,
             "scenario": name,
         }
     return rows
+
+
+def _ensure_snapshots(store_dir: str, learners: Sequence[str],
+                      scale: float, seed: int) -> Dict[str, object]:
+    """Train-once: one snapshot per learning method on the paper
+    world, reused across calls (keyed by method/scale/seed)."""
+    from repro.serve import PolicyStore, train_snapshot
+
+    store = PolicyStore(store_dir)
+    snapshots = {}
+    for method in learners:
+        name = f"robustness-{method}-s{scale:g}-seed{seed}".replace(
+            ".", "p")
+        try:
+            snapshots[method] = store.load(name)
+        except KeyError:
+            # the robustness training schedule, not train_snapshot's
+            # default: epochs follow the matrix's 40-epoch rule
+            epochs = _schedule(scale, 40)
+            if method == "onslicing":
+                from repro.experiments import harness
+                from repro.serve import snapshot_onslicing
+
+                bundle = harness.build_onslicing(
+                    offline_episodes=max(int(round(4 * scale)), 1),
+                    exploration_episodes=max(int(round(6 * scale)), 1),
+                    seed=seed, scenario="default")
+                harness.run_online_phase(bundle, epochs=epochs,
+                                         episodes_per_epoch=2)
+                snapshots[method] = store.save(snapshot_onslicing(
+                    name, bundle, scenario="default", seed=seed))
+            else:
+                from repro.experiments import harness
+                from repro.serve import snapshot_onrl
+
+                cfg = harness.resolve_scenario("default").build_config()
+                trained = harness.train_onrl(
+                    cfg, epochs=epochs, episodes_per_epoch=2,
+                    seed=seed, scenario="default")
+                snapshots[method] = store.save(snapshot_onrl(
+                    name, cfg, trained["agents"], scenario="default",
+                    seed=seed))
+    return snapshots

@@ -10,7 +10,7 @@ contract as PyTorch, which keeps the training loops familiar.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -47,6 +47,41 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # -- weight round-trips ------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Export every parameter as ``{name: value copy}``.
+
+        Parameter names must be unique within the module (they are for
+        every network built here -- layers embed their position in the
+        name), otherwise a silent key collision would drop weights.
+        """
+        params = self.parameters()
+        out = {p.name: p.value.copy() for p in params}
+        if len(out) != len(params):
+            names = [p.name for p in params]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate parameter names: {dupes}")
+        return out
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_dict`: strict name/shape matching."""
+        params = {p.name: p for p in self.parameters()}
+        missing = sorted(set(params) - set(state))
+        unexpected = sorted(set(state) - set(params))
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing {missing}, "
+                f"unexpected {unexpected}")
+        for name, value in state.items():
+            param = params[name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.value.shape}")
+            param.value = value.copy()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         raise NotImplementedError

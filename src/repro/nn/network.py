@@ -77,6 +77,23 @@ class MLP(Module):
         out = self.forward(x)
         return out[0] if single else out
 
+    def predict_batch(self, states: Sequence[np.ndarray]) -> np.ndarray:
+        """One vectorised forward pass over a batch of state vectors.
+
+        ``states`` is a sequence of 1-D vectors (or an ``(n, in)``
+        array); the result is always ``(n, out)``.  This is the serving
+        fast path: N decisions cost one stacked matmul chain instead of
+        N python-level forward passes.
+        """
+        batch = np.asarray(states, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2 or batch.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (n, {self.in_features}) states, "
+                f"got {batch.shape}")
+        return self.forward(batch)
+
     # -- persistence ------------------------------------------------
 
     def get_weights(self) -> List[np.ndarray]:

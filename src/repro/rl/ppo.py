@@ -76,6 +76,39 @@ class GaussianActorCritic:
         return np.clip(self.actor.predict(
             np.asarray(state, dtype=np.float64)), 0.0, 1.0)
 
+    def mean_actions(self, states) -> np.ndarray:
+        """Deterministic actions for a whole batch of states at once."""
+        return np.clip(self.actor.predict_batch(states), 0.0, 1.0)
+
+    # -- weight round-trips ------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Actor + critic + Gaussian-head weights, keyed by parameter
+        name (the ``actor.``/``critic.`` prefixes keep them disjoint)."""
+        state = self.actor.state_dict()
+        state.update(self.critic.state_dict())
+        state[self.dist.log_std.name] = self.dist.log_std.value.copy()
+        return state
+
+    def load_state_dict(self, state) -> None:
+        """Strict inverse of :meth:`state_dict`."""
+        state = {name: np.asarray(value, dtype=np.float64)
+                 for name, value in state.items()}
+        log_std_name = self.dist.log_std.name
+        if log_std_name not in state:
+            raise ValueError(f"state dict missing {log_std_name!r}")
+        log_std = state.pop(log_std_name)
+        if log_std.shape != self.dist.log_std.value.shape:
+            raise ValueError(
+                f"shape mismatch for {log_std_name}: "
+                f"{log_std.shape} vs {self.dist.log_std.value.shape}")
+        actor_names = {p.name for p in self.actor.parameters()}
+        self.actor.load_state_dict(
+            {n: v for n, v in state.items() if n in actor_names})
+        self.critic.load_state_dict(
+            {n: v for n, v in state.items() if n not in actor_names})
+        self.dist.log_std.value = log_std.copy()
+
 
 class PPOTrainer:
     """Runs PPO-Clip updates on a :class:`GaussianActorCritic`."""

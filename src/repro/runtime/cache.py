@@ -183,6 +183,65 @@ class ResultCache:
                 if name.endswith(".json"):
                     os.remove(os.path.join(self.directory, name))
 
+    def disk_usage(self) -> int:
+        """Total bytes of the on-disk entries (0 when memory-only)."""
+        if not self.directory:
+            return 0
+        total = 0
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                try:
+                    total += os.path.getsize(
+                        os.path.join(self.directory, name))
+                except OSError:
+                    continue  # entry vanished mid-scan
+        return total
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-*stored* disk entries until the store
+        fits in ``max_bytes`` (ops hygiene: ``python -m repro cache
+        prune --max-size``).
+
+        Eviction order is file mtime (the store never rewrites an
+        entry, so mtime is store order).  Pruned keys are dropped from
+        the memory layer too, so a later ``fetch`` misses instead of
+        resurrecting the evicted value.  Returns eviction stats.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        stats = {"removed": 0, "kept": 0, "bytes_before": 0,
+                 "bytes_after": 0}
+        if not self.directory:
+            return stats
+        entries = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path,
+                            name[:-5]))
+        entries.sort()
+        total = sum(size for _, size, _, _ in entries)
+        stats["bytes_before"] = total
+        for _, size, path, key in entries:
+            if total <= max_bytes:
+                stats["kept"] += 1
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                stats["kept"] += 1
+                continue
+            self._memory.pop(key, None)
+            total -= size
+            stats["removed"] += 1
+        stats["bytes_after"] = total
+        return stats
+
 
 _shared: Optional[ResultCache] = None
 

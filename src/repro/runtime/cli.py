@@ -7,7 +7,21 @@ Subcommands
     robustness matrix) and how it decomposes into experiment units.
 ``scenarios``
     Show every registered scenario (slice population, traffic model,
-    event timeline) from :mod:`repro.scenarios`.
+    event timeline) from :mod:`repro.scenarios`; ``--json`` emits the
+    registry machine-readably for loadgen tooling and CI.
+``train``
+    Train one method on one scenario and (with ``--save``) snapshot
+    the resulting policy into the :class:`~repro.serve.policy_store
+    .PolicyStore` (default ``.repro_policies``).
+``serve``
+    Run the :class:`~repro.serve.service.SlicingService` from a saved
+    snapshot against a scenario feed, reporting service telemetry
+    (optionally exported as JSONL).
+``loadgen``
+    Load-test a saved snapshot: drive the service with a registered
+    scenario at ``--slices N`` and report decisions/sec, p50/p99
+    decision latency and the SLA-violation rate.  No retraining --
+    with an empty store it bootstraps a model-based snapshot.
 ``run ARTEFACT [ARTEFACT ...]``
     Regenerate artefacts through the shared
     :class:`~repro.runtime.runner.ParallelRunner`: ``--workers`` fans
@@ -20,20 +34,24 @@ Subcommands
     and ``--list-units`` prints the unit decomposition (with cache
     keys) instead of executing.
 ``cache``
-    Inspect (``info``) or drop (``clear``) the on-disk result cache.
+    Inspect (``info``), drop (``clear``) or size-bound (``prune
+    --max-size``) the on-disk result cache.
 
 Examples
 --------
 ::
 
     python -m repro list
-    python -m repro scenarios
+    python -m repro scenarios --json
     python -m repro run table1 --workers 4 --scale 0.1
     python -m repro run robustness --scale 0.05 --workers 2
     python -m repro run table1 --scenario flash_crowd --seed 7
     python -m repro run table1 --list-units
     python -m repro run fig13 fig16 --json
-    python -m repro cache clear
+    python -m repro cache prune --max-size 256M
+    python -m repro train --method onslicing --scale 0.1 --save prod
+    python -m repro serve --snapshot prod --scenario flash_crowd
+    python -m repro loadgen --scenario flash_crowd --slices 50
 """
 
 from __future__ import annotations
@@ -41,6 +59,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -50,7 +69,12 @@ from repro.runtime.runner import ParallelRunner, default_workers
 from repro.runtime.serialization import to_jsonable
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+DEFAULT_STORE_DIR = ".repro_policies"
 DEFAULT_SCALE = 0.1
+
+#: Methods `train` accepts (mirrors repro.serve.SNAPSHOT_METHODS
+#: without importing the serve layer at module load).
+TRAIN_METHODS = ("onslicing", "onrl", "baseline", "model_based")
 
 
 @dataclass(frozen=True)
@@ -177,7 +201,59 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list runnable artefacts")
 
-    sub.add_parser("scenarios", help="list registered scenarios")
+    scenarios = sub.add_parser("scenarios",
+                               help="list registered scenarios")
+    scenarios.add_argument("--json", action="store_true",
+                           dest="as_json",
+                           help="machine-readable registry dump")
+
+    train = sub.add_parser(
+        "train", help="train a method and snapshot the policy")
+    train.add_argument("--method", choices=TRAIN_METHODS,
+                       default="onslicing")
+    train.add_argument("--scenario", default="default", metavar="NAME",
+                       help="training scenario (default: default)")
+    train.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                       help="schedule scale in (0, 1] "
+                            f"(default: {DEFAULT_SCALE})")
+    train.add_argument("--seed", type=int, default=42)
+    train.add_argument("--save", nargs="?", const="", default=None,
+                       metavar="NAME",
+                       help="store the snapshot (optionally named; "
+                            "default name <method>-<scenario>-seed<N>)")
+    train.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                       help=f"policy store (default: "
+                            f"{DEFAULT_STORE_DIR})")
+
+    for command, description in (
+            ("serve", "run the decision service over a scenario feed"),
+            ("loadgen", "load-test a saved snapshot")):
+        p = sub.add_parser(command, help=description)
+        p.add_argument("--scenario",
+                       required=(command == "loadgen"), default=None,
+                       metavar="NAME",
+                       help="workload scenario"
+                            + ("" if command == "loadgen"
+                               else " (default: the snapshot's)"))
+        p.add_argument("--snapshot", default=None, metavar="REF",
+                       help="snapshot 'name' or 'name@version' "
+                            "(default: newest in the store)")
+        p.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+        p.add_argument("--slices", type=int, default=None, metavar="N",
+                       help="serve an N-slice population(N) instead "
+                            "of the scenario's own slices")
+        p.add_argument("--episodes", type=int, default=1)
+        p.add_argument("--decisions", type=int, default=None,
+                       metavar="N", help="stop after N decisions")
+        p.add_argument("--seed", type=int, default=None,
+                       help="traffic/service seed (default: the "
+                            "scenario's)")
+        p.add_argument("--no-batch", action="store_true",
+                       help="disable micro-batched inference "
+                            "(reference path)")
+        p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                       help="export instrument readings as JSONL")
+        p.add_argument("--json", action="store_true", dest="as_json")
 
     run = sub.add_parser("run", help="regenerate artefacts")
     run.add_argument("artefacts", nargs="+", metavar="ARTEFACT",
@@ -205,9 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print results as JSON instead of text")
 
-    cache = sub.add_parser("cache", help="inspect/clear the cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = sub.add_parser("cache",
+                           help="inspect/clear/prune the cache")
+    cache.add_argument("action", choices=("info", "clear", "prune"))
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cache.add_argument("--max-size", default=None, metavar="SIZE",
+                       help="prune target, bytes with optional "
+                            "K/M/G suffix (e.g. 256M); required for "
+                            "'prune'")
     return parser
 
 
@@ -237,6 +318,108 @@ def parse_workers(value: str, option: str = "--workers") -> int:
     return workers
 
 
+_SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def parse_size(value: str, option: str = "--max-size") -> int:
+    """Parse a byte size with an optional K/M/G suffix (e.g. 256M)."""
+    import re
+
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([kKmMgG]?)[bB]?\s*",
+                         value)
+    if not match:
+        raise SystemExit(f"{option} must look like 1024, 256M or 2G, "
+                         f"got {value!r}")
+    return int(float(match.group(1))
+               * _SIZE_SUFFIXES[match.group(2).lower()])
+
+
+def _load_serving_snapshot(store_dir: str, ref: Optional[str]):
+    """Resolve the snapshot a serve/loadgen run should use.
+
+    Explicit ``ref`` wins; otherwise the newest stored snapshot.  An
+    empty store bootstraps a model-based snapshot (the only method
+    needing zero training), so ``python -m repro loadgen`` works from
+    a fresh checkout -- the note goes to stderr, never stdout.
+    """
+    from repro.serve import PolicyStore, train_snapshot
+
+    store = PolicyStore(store_dir)
+    if ref is not None:
+        try:
+            return store.load(ref)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(
+                f"{exc.args[0]} (train one with 'python -m repro "
+                "train --save')")
+    latest = store.latest()
+    if latest is not None:
+        return store.load(latest.ref)
+    print(f"note: policy store {store_dir!r} is empty; "
+          "bootstrapping a model_based snapshot (train your own with "
+          "'python -m repro train --save')", file=sys.stderr)
+    return train_snapshot("model_based", scenario="default",
+                          store=store)
+
+
+def _run_serving(args, report_telemetry: bool) -> int:
+    """Shared body of the ``serve`` and ``loadgen`` subcommands."""
+    from repro.serve import LoadGenerator
+
+    snapshot = _load_serving_snapshot(args.store_dir, args.snapshot)
+    scenario = args.scenario or snapshot.scenario
+    from repro import scenarios as scenario_registry
+
+    if scenario not in scenario_registry.names():
+        raise SystemExit(f"unknown scenario {scenario!r} "
+                         f"(try 'python -m repro scenarios')")
+    generator = LoadGenerator(snapshot, scenario, slices=args.slices,
+                              seed=args.seed,
+                              batching=not args.no_batch)
+    report = generator.run(episodes=args.episodes,
+                           max_decisions=args.decisions)
+    telemetry_rows = generator.telemetry.snapshot()
+    if args.telemetry_dir:
+        path = os.path.join(
+            args.telemetry_dir,
+            f"{snapshot.name}-{report.scenario}.jsonl")
+        generator.telemetry.export_jsonl(path, run_label=snapshot.ref)
+        print(f"telemetry written to {path}", file=sys.stderr)
+    if args.as_json:
+        payload = {"snapshot": snapshot.ref,
+                   "method": snapshot.method,
+                   "report": report.row()}
+        if report_telemetry:
+            payload["telemetry"] = telemetry_rows
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"== {'serve' if report_telemetry else 'loadgen'} "
+          f"{report.scenario} ==")
+    print(f"  snapshot          {snapshot.ref} ({snapshot.method})")
+    print(f"  slices            {report.slices}")
+    print(f"  decisions         {report.decisions} "
+          f"({report.episodes} episode(s))")
+    print(f"  throughput        {report.decisions_per_sec:,.0f} "
+          "decisions/s")
+    print(f"  decision latency  p50 {report.p50_latency_ms:.3f} ms   "
+          f"p99 {report.p99_latency_ms:.3f} ms")
+    print(f"  SLA violation     {100.0 * report.violation_rate:.1f}% "
+          "of (episode, slice)")
+    print(f"  fallback          {100.0 * report.fallback_rate:.1f}% "
+          "of decisions")
+    print(f"  mean usage        {100.0 * report.mean_usage:.1f}%")
+    print(f"  digest            {report.decision_digest[:16]}")
+    if report_telemetry:
+        print("  -- telemetry --")
+        for row in telemetry_rows:
+            cells = "  ".join(f"{k}={v:.3f}" if isinstance(v, float)
+                              else f"{k}={v}"
+                              for k, v in row.items()
+                              if k not in ("metric", "type"))
+            print(f"  {row['metric']:<22} {cells}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -250,16 +433,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenarios":
         from repro import scenarios as scenario_registry
 
+        rows = []
+        for spec in scenario_registry.all_specs():
+            rows.append({
+                "name": spec.name,
+                "description": spec.description,
+                "slices": len(spec.slices) if spec.slices else 3,
+                "traffic": (type(spec.traffic).__name__
+                            if spec.traffic is not None else "diurnal"),
+                "events": len(spec.events),
+                "seed": spec.seed,
+            })
+        if args.as_json:
+            print(json.dumps(rows, indent=2))
+            return 0
         print(f"{'scenario':<18} {'slices':<7} {'traffic':<18} "
               f"{'events':<7} description")
-        for spec in scenario_registry.all_specs():
-            slices = len(spec.slices) if spec.slices else 3
-            traffic = (type(spec.traffic).__name__
-                       if spec.traffic is not None else "diurnal")
-            print(f"{spec.name:<18} {slices:<7} {traffic:<18} "
-                  f"{len(spec.events):<7} {spec.description}")
-        print(f"{len(scenario_registry.names())} scenario(s) "
-              "registered")
+        for row in rows:
+            print(f"{row['name']:<18} {row['slices']:<7} "
+                  f"{row['traffic']:<18} {row['events']:<7} "
+                  f"{row['description']}")
+        print(f"{len(rows)} scenario(s) registered")
         return 0
 
     if args.command == "cache":
@@ -269,9 +463,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache.clear()
             print(f"cleared {size} cached result(s) from "
                   f"{args.cache_dir}")
+        elif args.action == "prune":
+            if args.max_size is None:
+                raise SystemExit("cache prune requires --max-size")
+            stats = cache.prune(parse_size(args.max_size))
+            print(f"{args.cache_dir}: pruned {stats['removed']} "
+                  f"entry(ies), kept {stats['kept']} "
+                  f"({stats['bytes_before']} -> "
+                  f"{stats['bytes_after']} bytes)")
         else:
-            print(f"{args.cache_dir}: {len(cache)} cached result(s)")
+            print(f"{args.cache_dir}: {len(cache)} cached result(s), "
+                  f"{cache.disk_usage()} bytes on disk")
         return 0
+
+    if args.command == "train":
+        from repro.serve import PolicyStore, train_snapshot
+
+        from repro import scenarios as scenario_registry
+
+        if args.scenario not in scenario_registry.names():
+            raise SystemExit(f"unknown scenario {args.scenario!r} "
+                             f"(try 'python -m repro scenarios')")
+        store = (PolicyStore(args.store_dir)
+                 if args.save is not None else None)
+        snapshot = train_snapshot(
+            args.method, scenario=args.scenario, scale=args.scale,
+            seed=args.seed, name=(args.save or None), store=store)
+        if store is not None:
+            print(f"saved snapshot {snapshot.ref} "
+                  f"({snapshot.method} on {snapshot.scenario}, "
+                  f"digest {snapshot.digest[:12]}) to "
+                  f"{args.store_dir}")
+        else:
+            print(f"trained {snapshot.method} on {snapshot.scenario} "
+                  "(not saved; pass --save to snapshot it)")
+        return 0
+
+    if args.command in ("serve", "loadgen"):
+        return _run_serving(args,
+                            report_telemetry=args.command == "serve")
 
     names = resolve_artefacts(args.artefacts)
     if args.scenario is not None:

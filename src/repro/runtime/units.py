@@ -21,6 +21,12 @@ Methods
     :class:`MethodResult` whose ``trajectory`` is the online phase.
 ``onrl`` / ``baseline`` / ``model_based``
     The three comparison methods of Sec. 7.1.
+``snapshot_eval``
+    Evaluate a saved policy snapshot on the unit's scenario through
+    the decision service -- no training.  ``params`` carry the store
+    directory, the snapshot ref, and the snapshot's content digest
+    (so the cache key changes when the snapshot does); ``variant``
+    names the snapshotted method.
 ``figure``
     A whole single-run figure generator (``variant`` names it, e.g.
     ``fig12``); used for artefacts that cannot be decomposed further.
@@ -42,13 +48,14 @@ from repro.runtime.cache import code_version, content_key
 FIGURE_UNITS = ("fig5", "fig6", "fig10", "fig12", "fig14", "fig15",
                 "fig16", "fig17", "fig18", "fig19")
 
-METHODS = ("onslicing", "onrl", "baseline", "model_based", "figure")
+METHODS = ("onslicing", "onrl", "baseline", "model_based",
+           "snapshot_eval", "figure")
 
 #: Methods whose execution actually consumes ``unit.seed`` (the static
 #: baselines derive all randomness from the config's seed).  A seed
 #: override only rewrites these, so it never forces a gratuitous
 #: recompute of seed-independent units.
-SEED_CONSUMING_METHODS = ("onslicing", "onrl")
+SEED_CONSUMING_METHODS = ("onslicing", "onrl", "snapshot_eval")
 
 
 def schedule_epochs(scale: float, full_epochs: int) -> int:
@@ -216,6 +223,18 @@ def execute_unit(unit: ExperimentUnit) -> Any:
             cfg, epochs=p.get("epochs", 12),
             episodes_per_epoch=p.get("episodes_per_epoch", 3),
             seed=unit.seed, scenario=spec)
+    if unit.method == "snapshot_eval":
+        from repro.serve import PolicyStore, evaluate_snapshot
+
+        snapshot = PolicyStore(p["store"]).load(p["snapshot"])
+        if snapshot.digest != p["digest"]:
+            raise ValueError(
+                f"snapshot {p['snapshot']!r} changed since this unit "
+                f"was planned (digest {snapshot.digest[:12]} != "
+                f"{p['digest'][:12]}); rebuild the units")
+        return evaluate_snapshot(snapshot, scenario=spec,
+                                 episodes=p.get("episodes", 1),
+                                 seed=unit.seed)
     if unit.method == "baseline":
         return harness.evaluate_static_policies(
             cfg, harness.fit_baselines(cfg),

@@ -1,0 +1,193 @@
+"""Scenario-driven load generation against the decision service.
+
+:class:`LoadGenerator` closes the serving loop: it instantiates any
+registered scenario from :mod:`repro.scenarios` (optionally re-populated
+to N slices via :func:`~repro.scenarios.spec.population`), feeds every
+slot's per-slice observations to a :class:`~repro.serve.service
+.SlicingService` as one decision batch, applies the returned
+allocations to the simulator, and reports what a load test should:
+decisions/sec, p50/p99 decision latency, the SLA-violation rate of the
+traffic actually served, and the fallback rate.
+
+Throughput is measured over *service* time (the ``decide()`` calls),
+not simulator time -- the simulator is the client here.  Reports carry
+a ``decision_digest`` (SHA-256 over every action served, in order) so
+two runs from the same snapshot and seed can be byte-compared: the CI
+smoke job replays 100 decisions twice and asserts the digests match.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.scenarios.spec import ScenarioSpec, population
+from repro.serve.policy_store import PolicySnapshot
+from repro.serve.service import DecisionRequest, SlicingService
+from repro.serve.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    scenario: str
+    slices: int
+    episodes: int
+    decisions: int
+    fallbacks: int
+    service_time_s: float
+    wall_time_s: float
+    decisions_per_sec: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    mean_usage: float               # mean per-slot usage in [0, 1]
+    violation_rate: float           # fraction of (episode, slice) pairs
+    fallback_rate: float
+    decision_digest: str            # SHA-256 over every served action
+    per_slice_usage: Dict[str, float] = field(default_factory=dict)
+    per_slice_violation: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat summary for CLI/JSON output."""
+        out = dataclasses.asdict(self)
+        del out["per_slice_usage"], out["per_slice_violation"]
+        return out
+
+
+def scenario_with_population(spec: ScenarioSpec,
+                             slices: Optional[int]) -> ScenarioSpec:
+    """Re-target a scenario spec at an N-slice population.
+
+    ``None`` keeps the spec's own population.  The derived spec keeps
+    the traffic model and event timeline -- only the slice population
+    (and hence the per-slice arrival derating) changes.
+    """
+    if slices is None:
+        return spec
+    return dataclasses.replace(spec, slices=population(slices))
+
+
+class LoadGenerator:
+    """Drive a service with a scenario's traffic at a slice count."""
+
+    def __init__(self, snapshot: PolicySnapshot, scenario,
+                 slices: Optional[int] = None,
+                 seed: Optional[int] = None,
+                 batching: bool = True,
+                 eta: Optional[float] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        from repro.experiments.harness import resolve_scenario
+
+        spec = resolve_scenario(scenario)
+        if spec is None:
+            raise ValueError("load generation needs a named scenario "
+                             "or a ScenarioSpec")
+        self.spec = scenario_with_population(spec, slices)
+        # None defers to the scenario's own seed everywhere, so a unit
+        # evaluation and a CLI run of the same spec agree exactly.
+        self.cfg: ExperimentConfig = self.spec.build_config(seed=seed)
+        self.seed = self.cfg.seed
+        self.telemetry = telemetry if telemetry is not None \
+            else Telemetry()
+        self.service = SlicingService(
+            snapshot, cfg=self.cfg, batching=batching, eta=eta,
+            telemetry=self.telemetry, rng_seed=self.seed)
+        self.simulator = self.spec.build_simulator(
+            self.cfg, rng=np.random.default_rng(self.cfg.seed))
+
+    def run(self, episodes: int = 1,
+            max_decisions: Optional[int] = None) -> LoadReport:
+        """Serve ``episodes`` full episodes (or stop after
+        ``max_decisions`` decisions, mid-episode if need be)."""
+        if episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        simulator = self.simulator
+        service = self.service
+        digest = hashlib.sha256()
+        decisions_served = 0
+        fallbacks = 0
+        service_time = 0.0
+        episodes_run = 0
+        per_slice_usage: Dict[str, List[float]] = {}
+        per_slice_violation: Dict[str, List[float]] = {}
+        wall_start = time.perf_counter()
+        stop = False
+        for _ in range(episodes):
+            if stop:
+                break
+            observations = simulator.reset()
+            service.begin_episode()   # re-arm the one-way fallback
+            totals = {name: {"cost": 0.0, "usage": 0.0, "slots": 0}
+                      for name in simulator.slice_names}
+            while not simulator.done and not stop:
+                requests = [
+                    DecisionRequest(slice_name=name,
+                                    state=observations[name].vector())
+                    for name in simulator.slice_names
+                ]
+                t0 = time.perf_counter()
+                decisions = service.decide(requests)
+                service_time += time.perf_counter() - t0
+                for name in sorted(decisions):
+                    decision = decisions[name]
+                    digest.update(name.encode("utf-8"))
+                    digest.update(np.ascontiguousarray(
+                        decision.action, dtype=np.float64).tobytes())
+                    fallbacks += decision.fallback
+                decisions_served += len(decisions)
+                results = simulator.step(
+                    {name: decision.action
+                     for name, decision in decisions.items()})
+                for name, result in results.items():
+                    totals[name]["cost"] += result.cost
+                    totals[name]["usage"] += result.usage
+                    totals[name]["slots"] += 1
+                    observations[name] = result.observation
+                if (max_decisions is not None
+                        and decisions_served >= max_decisions):
+                    stop = True
+            episodes_run += 1
+            for spec in self.cfg.slices:
+                slots = totals[spec.name]["slots"]
+                if slots == 0:
+                    continue
+                mean_cost = totals[spec.name]["cost"] / slots
+                mean_usage = totals[spec.name]["usage"] / slots
+                per_slice_usage.setdefault(spec.name, []).append(
+                    mean_usage)
+                per_slice_violation.setdefault(spec.name, []).append(
+                    float(mean_cost > spec.sla.cost_threshold))
+        wall_time = time.perf_counter() - wall_start
+        usage = {name: float(np.mean(vals))
+                 for name, vals in per_slice_usage.items()}
+        violation = {name: float(np.mean(vals))
+                     for name, vals in per_slice_violation.items()}
+        latency = self.telemetry.histogram("decision_latency_ms")
+        return LoadReport(
+            scenario=self.spec.name,
+            slices=len(self.cfg.slices),
+            episodes=episodes_run,
+            decisions=decisions_served,
+            fallbacks=int(fallbacks),
+            service_time_s=service_time,
+            wall_time_s=wall_time,
+            decisions_per_sec=(decisions_served / service_time
+                               if service_time > 0 else 0.0),
+            p50_latency_ms=latency.percentile(50.0),
+            p99_latency_ms=latency.percentile(99.0),
+            mean_usage=(float(np.mean(list(usage.values())))
+                        if usage else 0.0),
+            violation_rate=(float(np.mean(list(violation.values())))
+                            if violation else 0.0),
+            fallback_rate=(fallbacks / decisions_served
+                           if decisions_served else 0.0),
+            decision_digest=digest.hexdigest(),
+            per_slice_usage=usage,
+            per_slice_violation=violation)

@@ -1,0 +1,123 @@
+"""Lightweight serving telemetry: counters, histograms, JSONL export.
+
+The decision service and load generator record what production ops
+would scrape -- decisions served, batch sizes, fallback routings,
+coordination rounds, per-decision latency -- without pulling in a
+metrics dependency.  A :class:`Telemetry` registry hands out named
+:class:`Counter` and :class:`Histogram` instruments and exports one
+JSON object per instrument to a JSONL file, so serve runs produce
+inspectable artefacts exactly like the experiment runtime does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Percentiles exported for every histogram.
+EXPORT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"metric": self.name, "type": "counter",
+                "value": self.value}
+
+
+class Histogram:
+    """Exact sample histogram with percentile readout.
+
+    Samples are kept verbatim (serve runs observe thousands of
+    decisions, not millions), so percentiles are exact rather than
+    bucket-approximated.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), p))
+
+    def snapshot(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "metric": self.name, "type": "histogram",
+            "count": self.count, "sum": self.total, "mean": self.mean,
+        }
+        for p in EXPORT_PERCENTILES:
+            out[f"p{p:g}"] = self.percentile(p)
+        return out
+
+
+class Telemetry:
+    """Registry of named instruments for one service/loadgen run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name in self._histograms:
+            raise ValueError(f"{name!r} is already a histogram")
+        return self._counters.setdefault(name, Counter(name))
+
+    def histogram(self, name: str) -> Histogram:
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already a counter")
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Every instrument's current reading, counters first."""
+        rows = [c.snapshot() for _, c in sorted(self._counters.items())]
+        rows += [h.snapshot() for _, h in sorted(self._histograms.items())]
+        return rows
+
+    def export_jsonl(self, path: str,
+                     run_label: Optional[str] = None) -> str:
+        """Write one JSON object per instrument to ``path`` (JSONL).
+
+        Parent directories are created; the file is overwritten (one
+        file per run -- label runs via the filename or ``run_label``).
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        stamp = time.time()
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.snapshot():
+                if run_label is not None:
+                    row = {"run": run_label, **row}
+                fh.write(json.dumps({**row, "unix_time": stamp}) + "\n")
+        return path

@@ -1,0 +1,88 @@
+"""Train-once entry points that end in a policy snapshot.
+
+``python -m repro train --save NAME`` lands here: train one method on
+one scenario at a schedule scale, snapshot the decision surface into a
+:class:`~repro.serve.policy_store.PolicyStore`, and from then on the
+service, the load generator and the robustness sweep evaluate from the
+snapshot -- no retraining per run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ExperimentConfig
+from repro.runtime.units import schedule_epochs
+from repro.serve.policy_store import (
+    PolicySnapshot,
+    PolicyStore,
+    snapshot_baseline,
+    snapshot_model_based,
+    snapshot_onrl,
+    snapshot_onslicing,
+)
+
+#: Paper-equivalent full schedules scaled by ``scale`` (the same
+#: shrink rule the robustness artefact uses).
+FULL_EPOCHS = 12
+FULL_OFFLINE_EPISODES = 4
+FULL_EXPLORATION_EPISODES = 6
+
+
+def train_snapshot(method: str, scenario="default",
+                   scale: float = 0.1, seed: int = 42,
+                   name: Optional[str] = None,
+                   store: Optional[PolicyStore] = None,
+                   cfg: Optional[ExperimentConfig] = None
+                   ) -> PolicySnapshot:
+    """Train ``method`` on ``scenario`` and build a snapshot.
+
+    ``scale`` shrinks the training schedule exactly like the artefact
+    generators; the static methods (baseline / model_based) have no
+    schedule and ignore it.  When ``store`` is given the snapshot is
+    saved (version assigned) before being returned.
+    """
+    from repro.experiments import harness
+
+    spec = harness.resolve_scenario(scenario)
+    scenario_name = spec.name if spec is not None else "default"
+    if cfg is None:
+        cfg = (spec.build_config() if spec is not None
+               else ExperimentConfig())
+    name = name or f"{method}-{scenario_name}-seed{seed}"
+
+    if method == "onslicing":
+        epochs = schedule_epochs(scale, FULL_EPOCHS)
+        bundle = harness.build_onslicing(
+            cfg,
+            offline_episodes=max(
+                int(round(FULL_OFFLINE_EPISODES * scale)), 1),
+            exploration_episodes=max(
+                int(round(FULL_EXPLORATION_EPISODES * scale)), 1),
+            seed=seed, scenario=spec)
+        harness.run_online_phase(bundle, epochs=epochs,
+                                 episodes_per_epoch=2)
+        snapshot = snapshot_onslicing(name, bundle,
+                                      scenario=scenario_name,
+                                      seed=seed)
+    elif method == "onrl":
+        epochs = schedule_epochs(scale, FULL_EPOCHS)
+        trained = harness.train_onrl(cfg, epochs=epochs,
+                                     episodes_per_epoch=2, seed=seed,
+                                     scenario=spec)
+        snapshot = snapshot_onrl(name, cfg, trained["agents"],
+                                 scenario=scenario_name, seed=seed)
+    elif method == "baseline":
+        snapshot = snapshot_baseline(name, cfg,
+                                     harness.fit_baselines(cfg),
+                                     scenario=scenario_name, seed=seed)
+    elif method == "model_based":
+        snapshot = snapshot_model_based(name, cfg,
+                                        scenario=scenario_name,
+                                        seed=seed)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    if store is not None:
+        snapshot = store.save(snapshot)
+    return snapshot
