@@ -1,0 +1,84 @@
+"""Fleet scaling: aggregate decisions/sec, 1 shard vs N shards.
+
+The fleet layer's core claim (the ROADMAP's "heavy traffic from
+millions of users" made a code path): a 32-cell campaign sharded over
+worker processes must deliver materially more aggregate decisions/sec
+than the same campaign on one shard.  The gate is >= 2.5x at 4 shards
+-- process start-up, per-shard snapshot loading, and the coordinator's
+streaming merge are all inside the measured window, so the ratio is
+end-to-end scaling efficiency, not a kernel microbenchmark.
+
+Both runs execute the identical cell plans from the identical
+digest-pinned snapshot, and the assertion first checks the two report
+digests match: parallelism must not change a single decision.
+
+Skips (rather than fails) on machines exposing fewer than 4 usable
+CPUs -- there is nothing to measure there.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments.harness import make_onrl_agents
+from repro.fleet import FleetSpec, run_fleet
+from repro.runtime.runner import default_workers
+from repro.scenarios import get as get_scenario
+from repro.serve import PolicyStore, snapshot_onrl
+
+CELLS = 32
+SLOTS = 24
+SHARDS = 4
+
+#: The acceptance gate: sharded decisions/sec over single-shard.
+MIN_SPEEDUP = 2.5
+
+
+def _fleet_spec() -> FleetSpec:
+    return FleetSpec(name="bench-fleet", cells=CELLS, slots=SLOTS,
+                     episodes=1, seed=3)
+
+
+def _save_snapshot(store_dir: str):
+    cfg = get_scenario("default").build_config()
+    store = PolicyStore(store_dir)
+    return store.save(snapshot_onrl(
+        "bench-fleet", cfg, make_onrl_agents(cfg, seed=11), seed=11))
+
+
+def _drive(spec, store_dir, ref, shards):
+    start = time.perf_counter()
+    report = run_fleet(spec, store_dir, snapshot_ref=ref,
+                       shards=shards)
+    return report, time.perf_counter() - start
+
+
+def test_fleet_sharding_speedup(benchmark, tmp_path):
+    usable = default_workers() + 1     # the affinity-aware CPU count
+    if usable < SHARDS:
+        pytest.skip(f"needs >= {SHARDS} usable CPUs, have {usable}")
+    store_dir = str(tmp_path / "store")
+    snapshot = _save_snapshot(store_dir)
+    spec = _fleet_spec()
+    # warm-up: import costs, numpy buffers, a first snapshot decode
+    _drive(FleetSpec(name="warm", cells=2, slots=6, seed=3),
+           store_dir, snapshot.ref, shards=1)
+
+    sharded_report, sharded_s = run_once(
+        benchmark, _drive, spec, store_dir, snapshot.ref, SHARDS)
+    single_report, single_s = _drive(spec, store_dir, snapshot.ref, 1)
+
+    assert sharded_report.digest == single_report.digest, \
+        "sharding changed the campaign's decisions"
+    single_rate = single_report.decisions / single_s
+    sharded_rate = sharded_report.decisions / sharded_s
+    speedup = sharded_rate / single_rate
+    print(f"\nFleet scaling at {CELLS} cells "
+          f"({single_report.decisions} decisions):")
+    print(f"  1 shard    {single_rate:12,.0f} decisions/s")
+    print(f"  {SHARDS} shards   {sharded_rate:12,.0f} decisions/s")
+    print(f"  speedup    {speedup:12.1f}x  (gate: "
+          f">= {MIN_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_SPEEDUP

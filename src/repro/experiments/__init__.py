@@ -6,7 +6,10 @@
 * :mod:`repro.experiments.tables` -- Table 1-4 generators;
 * :mod:`repro.experiments.figures` -- Fig. 3, 5, 6, 9-19 generators;
 * :mod:`repro.experiments.robustness` -- the method x scenario stress
-  matrix (``python -m repro run robustness``).
+  matrix (``python -m repro run robustness``);
+* :mod:`repro.experiments.fleet_sweep` -- fleet campaigns at growing
+  cell counts, each a cached ``fleet`` unit
+  (``python -m repro run fleet_sweep``).
 
 Fan-out generators accept ``scenario=<registered name>`` to re-target
 an artefact at any workload from :mod:`repro.scenarios`.

@@ -1,0 +1,79 @@
+"""The ``fleet_sweep`` artefact: fleets as cached experiment units.
+
+Runs the same snapshot over fleets of growing cell counts (each fleet
+one :class:`~repro.runtime.units.ExperimentUnit`, so the runner caches
+and parallelises them like any table row) and reports how SLA health
+and decision volume evolve as the campaign scales -- the fleet-layer
+counterpart of the ``robustness`` matrix.
+
+Every fleet cycles the full robustness scenario mix, so a sweep row
+aggregates the paper world *and* the stress regimes at that scale.
+``python -m repro run fleet_sweep`` is the CLI front door; with an
+empty policy store it bootstraps a model-based snapshot exactly like
+``loadgen`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.runtime.runner import ParallelRunner
+from repro.runtime.units import make_fleet_unit
+from repro.serve import DEFAULT_STORE_DIR
+
+#: Cell counts swept at ``scale=1.0`` (shrunk by ``scale``, floor 2).
+FULL_CELLS = (8, 16, 32)
+
+#: Short horizon so a sweep measures breadth, not one long day.
+SWEEP_SLOTS = 24
+
+
+def fleet_sweep(scale: float = 1.0,
+                runner: Optional[ParallelRunner] = None,
+                store_dir: str = DEFAULT_STORE_DIR,
+                snapshot: Optional[str] = None,
+                seed: int = 23,
+                cells: Tuple[int, ...] = FULL_CELLS
+                ) -> Dict[str, Dict[str, object]]:
+    """Sweep fleet campaigns over growing cell counts.
+
+    Returns one row per fleet size (keyed ``"8_cells"`` etc.), shaped
+    like the table artefacts so the CLI renders it as one.
+    """
+    from repro.fleet import FleetSpec
+    from repro.serve import resolve_serving_snapshot
+
+    runner = runner if runner is not None else ParallelRunner()
+    loaded = resolve_serving_snapshot(store_dir, snapshot)
+    collect_only = getattr(runner, "collect_only", False)
+    scaled = []
+    for count in cells:
+        value = max(2, int(round(count * scale)))
+        if value not in scaled:
+            scaled.append(value)
+    units = [
+        make_fleet_unit(
+            FleetSpec(name=f"sweep-{count}", cells=count,
+                      slots=SWEEP_SLOTS, seed=seed),
+            store=store_dir, snapshot=loaded.ref,
+            digest=loaded.digest)
+        for count in scaled
+    ]
+    reports = runner.run(units)
+    rows: Dict[str, Dict[str, object]] = {}
+    if collect_only:
+        # planner mode (--list-units): the stub results are not
+        # FleetReports; the unit decomposition is already recorded
+        return rows
+    for count, report in zip(scaled, reports):
+        rows[f"{count}_cells"] = {
+            "method": f"fleet[{count} cells]",
+            "decisions": report.decisions,
+            "violation_pct": round(100.0 * report.violation_rate, 2),
+            "usage_pct": round(100.0 * report.mean_usage, 2),
+            "fallback_pct": round(
+                100.0 * report.fallbacks / report.decisions
+                if report.decisions else 0.0, 2),
+            "digest": report.digest[:12],
+        }
+    return rows

@@ -1,0 +1,147 @@
+"""Shard execution: one worker's slice of a fleet campaign.
+
+A :class:`ShardPlan` is everything one worker process needs to run its
+cells without talking to anyone: the fleet spec, its cell assignments,
+the *resolved* scenario specs (so worker processes never re-resolve
+the registry), and the digest-pinned snapshot reference.  The shard
+loads the snapshot from the :class:`~repro.serve.policy_store
+.PolicyStore` exactly once, verifies the digest, then drives each cell
+through a :class:`~repro.serve.loadgen.LoadGenerator` -- a per-cell
+:class:`~repro.serve.service.SlicingService` over the shared snapshot.
+
+Telemetry never leaves the shard raw: per-cell counters and bounded
+histograms merge into one shard-level :class:`~repro.serve.telemetry
+.Telemetry`, and the :class:`ShardResult` shipped to the coordinator
+is O(instruments) + O(cells-in-shard) small, no matter how many
+decisions the shard served.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.fleet.spec import CellPlan, FleetSpec
+from repro.runtime.serialization import register_dataclass
+from repro.scenarios import ScenarioSpec
+from repro.serve.loadgen import LoadGenerator
+from repro.serve.policy_store import PolicySnapshot, PolicyStore
+from repro.serve.telemetry import Histogram, Telemetry
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class CellStats:
+    """One cell's deterministic outcome plus its latency readout."""
+
+    cell: int
+    scenario: str
+    seed: int
+    slices: int
+    episodes: int
+    decisions: int
+    fallbacks: int
+    violation_rate: float
+    mean_usage: float
+    service_time_s: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    #: SHA-256 over every action the cell's service produced, in
+    #: order -- the replayable identity of the cell's run.
+    decision_digest: str
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's merged telemetry and per-cell rows."""
+
+    shard: int
+    cells: Tuple[CellStats, ...]
+    #: Merged counter totals across the shard's cells.
+    counters: Dict[str, float]
+    #: Merged histogram states (:meth:`Histogram.state`) by name.
+    histograms: Dict[str, Dict]
+    elapsed_s: float
+
+    @property
+    def decisions(self) -> int:
+        return sum(stats.decisions for stats in self.cells)
+
+    def telemetry(self) -> Telemetry:
+        """Rebuild live instruments from the serialised states."""
+        telemetry = Telemetry()
+        for name in sorted(self.counters):
+            telemetry.counter(name).inc(self.counters[name])
+        for name in sorted(self.histograms):
+            telemetry.histogram(name).merge(
+                Histogram.from_state(self.histograms[name]))
+        return telemetry
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's self-contained slice of a fleet campaign.
+
+    Travels to worker processes by pickle (never JSON), so it carries
+    live :class:`ScenarioSpec` objects keyed by name.
+    """
+
+    shard: int
+    spec: FleetSpec
+    cells: Tuple[CellPlan, ...]
+    scenarios: Dict[str, ScenarioSpec]
+    store_dir: str
+    snapshot_ref: str
+    snapshot_digest: str
+
+
+def run_fleet_shard(plan: ShardPlan,
+                    snapshot: Optional[PolicySnapshot] = None
+                    ) -> ShardResult:
+    """Run every cell of ``plan`` to completion (in this process).
+
+    Top-level so :class:`concurrent.futures.ProcessPoolExecutor` can
+    run it; the inline (1-shard) path passes the already-loaded
+    ``snapshot`` to skip the redundant store read.  Deterministic
+    given the plan and snapshot: cell seeds are fixed by the fleet
+    spec, so the same cells produce the same decision digests on any
+    shard of any run.
+    """
+    start = time.perf_counter()
+    if snapshot is None:
+        snapshot = PolicyStore(plan.store_dir).load(plan.snapshot_ref)
+    if snapshot.digest != plan.snapshot_digest:
+        raise ValueError(
+            f"snapshot {plan.snapshot_ref!r} changed since the fleet "
+            f"was planned (digest {snapshot.digest[:12]} != "
+            f"{plan.snapshot_digest[:12]}); re-plan the fleet")
+    aggregate = Telemetry()
+    rows = []
+    for cell in plan.cells:
+        scenario = plan.spec.cell_scenario(plan.scenarios[cell.scenario])
+        telemetry = Telemetry()
+        generator = LoadGenerator(snapshot, scenario, seed=cell.seed,
+                                  telemetry=telemetry)
+        report = generator.run(episodes=plan.spec.episodes)
+        aggregate.merge(telemetry)
+        aggregate.counter("cells").inc()
+        rows.append(CellStats(
+            cell=cell.cell, scenario=cell.scenario, seed=cell.seed,
+            slices=report.slices, episodes=report.episodes,
+            decisions=report.decisions, fallbacks=report.fallbacks,
+            violation_rate=report.violation_rate,
+            mean_usage=report.mean_usage,
+            service_time_s=report.service_time_s,
+            p50_latency_ms=report.p50_latency_ms,
+            p99_latency_ms=report.p99_latency_ms,
+            decision_digest=report.decision_digest))
+    return ShardResult(
+        shard=plan.shard,
+        cells=tuple(rows),
+        counters={name: counter.value for name, counter
+                  in aggregate.counters().items()},
+        histograms={name: histogram.state() for name, histogram
+                    in aggregate.histograms().items()},
+        elapsed_s=time.perf_counter() - start)

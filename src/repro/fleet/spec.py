@@ -1,0 +1,122 @@
+"""Declarative fleet campaigns.
+
+A :class:`FleetSpec` scales the serving stack from one cell to N: it
+names how many cells to simulate, which registered scenarios they
+cycle through, how each cell's population/horizon is shaped, and the
+single fleet seed every cell seed derives from.  Like
+:class:`~repro.scenarios.spec.ScenarioSpec` it is a frozen,
+hashable, tagged-JSON-serialisable dataclass, so fleet experiment
+units are content-keyed into the result cache and checkpoints can pin
+exactly which campaign produced them.
+
+Cell seeds come from :func:`numpy.random.SeedSequence` spawn keys --
+documented-stable hashing, so cell ``i`` of a fleet sees the same
+traffic no matter how many shards run the fleet or which shard it
+lands on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import TrafficConfig
+from repro.runtime.serialization import register_dataclass
+from repro.scenarios import ROBUSTNESS_MATRIX, ScenarioSpec, population
+from repro.scenarios import get as get_scenario
+
+
+def derive_cell_seed(fleet_seed: int, cell: int) -> int:
+    """Deterministic, well-spread per-cell seed from the fleet seed."""
+    sequence = np.random.SeedSequence(entropy=fleet_seed,
+                                      spawn_key=(cell,))
+    return int(sequence.generate_state(1, np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One cell of a fleet: which scenario it runs, under which seed."""
+
+    cell: int
+    scenario: str
+    seed: int
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class FleetSpec:
+    """A named, declarative N-cell serving campaign."""
+
+    name: str
+    #: Number of simulated cells (each its own ScenarioSimulator).
+    cells: int = 8
+    #: Registered scenario names cells cycle through; empty means the
+    #: robustness matrix (the paper world plus every stress regime).
+    scenarios: Tuple[str, ...] = ()
+    #: Re-populate every cell to N slices (``population(N)``);
+    #: ``None`` keeps each scenario's own population.
+    slices: Optional[int] = None
+    #: Episodes served per cell.
+    episodes: int = 1
+    #: Horizon override (slots per episode); ``None`` keeps each
+    #: scenario's own horizon.
+    slots: Optional[int] = None
+    #: Fleet-level seed; every cell seed derives from it.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fleet name must be non-empty")
+        if self.cells < 1:
+            raise ValueError("cells must be >= 1")
+        if self.episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        if self.slices is not None and self.slices < 1:
+            raise ValueError("slices must be >= 1")
+        if self.slots is not None and self.slots < 2:
+            raise ValueError("slots must be >= 2")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0")
+
+    def scenario_cycle(self) -> Tuple[str, ...]:
+        """The scenario names cells are assigned from, in cycle order."""
+        return self.scenarios if self.scenarios else ROBUSTNESS_MATRIX
+
+    def cell_plans(self) -> Tuple[CellPlan, ...]:
+        """Every cell's (scenario, seed) assignment, in cell order."""
+        cycle = self.scenario_cycle()
+        return tuple(
+            CellPlan(cell=index, scenario=cycle[index % len(cycle)],
+                     seed=derive_cell_seed(self.seed, index))
+            for index in range(self.cells))
+
+    def resolve_scenarios(self) -> Dict[str, ScenarioSpec]:
+        """Name -> registry spec for every scenario in the cycle.
+
+        Resolved in the coordinator process so shard workers never
+        depend on user registrations being replayed under spawn-style
+        start methods (mirrors how experiment units carry their spec).
+        """
+        return {name: get_scenario(name)
+                for name in self.scenario_cycle()}
+
+    def cell_scenario(self, base: ScenarioSpec) -> ScenarioSpec:
+        """Shape a registry scenario for one cell of this fleet
+        (population and horizon overrides applied)."""
+        spec = base
+        if self.slices is not None:
+            spec = dataclasses.replace(spec,
+                                       slices=population(self.slices))
+        if self.slots is not None:
+            traffic = spec.traffic_cfg if spec.traffic_cfg is not None \
+                else TrafficConfig()
+            spec = dataclasses.replace(
+                spec, traffic_cfg=dataclasses.replace(
+                    traffic, slots_per_episode=self.slots))
+        return spec
+
+
+register_dataclass(CellPlan)

@@ -22,6 +22,16 @@ Subcommands
     scenario at ``--slices N`` and report decisions/sec, p50/p99
     decision latency and the SLA-violation rate.  No retraining --
     with an empty store it bootstraps a model-based snapshot.
+``fleet run / fleet report``
+    Simulate ``--cells N`` cells (cycling ``--scenarios``, default the
+    robustness matrix) sharded over ``--shards`` worker processes, all
+    serving one digest-pinned snapshot; streams mergeable telemetry to
+    a rolling aggregate, optionally checkpoints completed shards to
+    JSONL (``--checkpoint``, resumable with ``--resume``), and prints
+    the fleet report (p50/p99 latency, per-scenario SLA table,
+    per-cell outliers, deterministic report digest).  ``fleet
+    report --checkpoint`` rebuilds the report from a checkpoint file
+    without running anything.
 ``run ARTEFACT [ARTEFACT ...]``
     Regenerate artefacts through the shared
     :class:`~repro.runtime.runner.ParallelRunner`: ``--workers`` fans
@@ -52,11 +62,16 @@ Examples
     python -m repro train --method onslicing --scale 0.1 --save prod
     python -m repro serve --snapshot prod --scenario flash_crowd
     python -m repro loadgen --scenario flash_crowd --slices 50
+    python -m repro fleet run --cells 32 --shards auto
+    python -m repro fleet run --cells 32 --checkpoint fleet.jsonl \
+        --resume
+    python -m repro fleet report --checkpoint fleet.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import inspect
 import json
 import os
@@ -69,6 +84,8 @@ from repro.runtime.runner import ParallelRunner, default_workers
 from repro.runtime.serialization import to_jsonable
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+#: Mirrors ``repro.serve.DEFAULT_STORE_DIR`` (a literal so argparse
+#: defaults never import the serve layer at CLI start-up).
 DEFAULT_STORE_DIR = ".repro_policies"
 DEFAULT_SCALE = 0.1
 
@@ -124,6 +141,8 @@ ARTEFACTS: Dict[str, Artefact] = {a.name: a for a in (
              scaled=False),
     Artefact("robustness", "all four methods across the scenario "
              "stress matrix", "fanout"),
+    Artefact("fleet_sweep", "fleet campaigns at growing cell counts",
+             "fanout"),
 )}
 
 
@@ -132,6 +151,10 @@ def _generator(name: str) -> Callable[..., Any]:
         from repro.experiments.robustness import robustness
 
         return robustness
+    if name == "fleet_sweep":
+        from repro.experiments.fleet_sweep import fleet_sweep
+
+        return fleet_sweep
     from repro.experiments import figures, tables
 
     module = tables if name.startswith("table") else figures
@@ -164,10 +187,17 @@ def _print_units(units: List[Any]) -> None:
     """Print a recorded unit decomposition (``run --list-units``)."""
     from repro.runtime.units import unit_cache_key
 
+    def clip(value: Any) -> str:
+        # fleet units carry whole resolved specs in params; the
+        # listing only needs enough to identify the unit
+        text = str(value)
+        return text if len(text) <= 64 else f"{text[:61]}..."
+
     print(f"{'method':<12} {'variant':<12} {'scenario':<18} "
           f"{'seed':<6} {'key':<14} params")
     for unit in units:
-        params = " ".join(f"{k}={v}" for k, v in unit.params) or "-"
+        params = " ".join(f"{k}={clip(v)}"
+                          for k, v in unit.params) or "-"
         key = unit_cache_key(unit)[:12]
         print(f"{unit.method:<12} {unit.variant:<12} "
               f"{unit.scenario:<18} {unit.seed:<6} {key:<14} {params}")
@@ -255,6 +285,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export instrument readings as JSONL")
         p.add_argument("--json", action="store_true", dest="as_json")
 
+    fleet = sub.add_parser(
+        "fleet", help="sharded multi-cell fleet simulation")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command",
+                                     required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate N cells sharded over worker processes")
+    fleet_run.add_argument("--cells", type=int, default=8,
+                           help="simulated cells (default: 8)")
+    fleet_run.add_argument("--shards", default="auto",
+                           help="worker shards, or 'auto' "
+                                "(default: auto)")
+    fleet_run.add_argument("--scenarios", default=None, metavar="A,B",
+                           help="comma-separated registered scenarios "
+                                "cells cycle through (default: the "
+                                "robustness matrix)")
+    fleet_run.add_argument("--slices", type=int, default=None,
+                           metavar="N",
+                           help="re-populate every cell to N slices")
+    fleet_run.add_argument("--episodes", type=int, default=1)
+    fleet_run.add_argument("--slots", type=int, default=None,
+                           metavar="N",
+                           help="episode horizon override (slots)")
+    fleet_run.add_argument("--seed", type=int, default=7,
+                           help="fleet seed (cell seeds derive from "
+                                "it; default: 7)")
+    fleet_run.add_argument("--snapshot", default=None, metavar="REF",
+                           help="snapshot 'name' or 'name@version' "
+                                "(default: newest in the store)")
+    fleet_run.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    fleet_run.add_argument("--name", default="fleet", metavar="NAME",
+                           help="campaign name (default: fleet)")
+    fleet_run.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="stream completed shards to a JSONL "
+                                "checkpoint")
+    fleet_run.add_argument("--resume", action="store_true",
+                           help="resume a killed run from "
+                                "--checkpoint (same spec and seed)")
+    fleet_run.add_argument("--json", action="store_true",
+                           dest="as_json")
+    fleet_report = fleet_sub.add_parser(
+        "report", help="rebuild a fleet report from a checkpoint")
+    fleet_report.add_argument("--checkpoint", required=True,
+                              metavar="PATH")
+    fleet_report.add_argument("--json", action="store_true",
+                              dest="as_json")
+
     run = sub.add_parser("run", help="regenerate artefacts")
     run.add_argument("artefacts", nargs="+", metavar="ARTEFACT",
                      help="table1..table4, fig3..fig19, robustness, "
@@ -335,31 +411,23 @@ def parse_size(value: str, option: str = "--max-size") -> int:
 
 
 def _load_serving_snapshot(store_dir: str, ref: Optional[str]):
-    """Resolve the snapshot a serve/loadgen run should use.
+    """Resolve the snapshot a serve/loadgen/fleet run should use
+    (:func:`repro.serve.resolve_serving_snapshot`: explicit ref, else
+    newest, else bootstrap a model-based snapshot), translating
+    *lookup* failures into actionable CLI errors."""
+    from repro.serve import resolve_serving_snapshot
 
-    Explicit ``ref`` wins; otherwise the newest stored snapshot.  An
-    empty store bootstraps a model-based snapshot (the only method
-    needing zero training), so ``python -m repro loadgen`` works from
-    a fresh checkout -- the note goes to stderr, never stdout.
-    """
-    from repro.serve import PolicyStore, train_snapshot
-
-    store = PolicyStore(store_dir)
-    if ref is not None:
-        try:
-            return store.load(ref)
-        except (KeyError, ValueError) as exc:
-            raise SystemExit(
-                f"{exc.args[0]} (train one with 'python -m repro "
-                "train --save')")
-    latest = store.latest()
-    if latest is not None:
-        return store.load(latest.ref)
-    print(f"note: policy store {store_dir!r} is empty; "
-          "bootstrapping a model_based snapshot (train your own with "
-          "'python -m repro train --save')", file=sys.stderr)
-    return train_snapshot("model_based", scenario="default",
-                          store=store)
+    try:
+        return resolve_serving_snapshot(store_dir, ref)
+    except (KeyError, ValueError) as exc:
+        if ref is None:
+            # no explicit ref: the failure came from the store scan or
+            # the bootstrap training itself -- "train one" would be
+            # circular advice, so surface the real cause
+            raise
+        raise SystemExit(
+            f"{exc.args[0]} (train one with 'python -m repro "
+            "train --save')")
 
 
 def _run_serving(args, report_telemetry: bool) -> int:
@@ -417,6 +485,95 @@ def _run_serving(args, report_telemetry: bool) -> int:
                               for k, v in row.items()
                               if k not in ("metric", "type"))
             print(f"  {row['metric']:<22} {cells}")
+    return 0
+
+
+def _fleet_json(report, complete: bool = True) -> str:
+    """Machine-readable fleet report payload."""
+    return json.dumps({
+        "complete": complete,
+        "report": report.row(),
+        "scenarios": [dataclasses.asdict(row)
+                      for row in report.scenarios],
+        "outliers": [dataclasses.asdict(row)
+                     for row in report.outliers],
+    }, indent=2)
+
+
+def _run_fleet(args) -> int:
+    """The ``fleet run`` / ``fleet report`` subcommands."""
+    from repro.fleet import (
+        FleetSpec,
+        format_report,
+        load_checkpoint,
+        report_from_checkpoint,
+        run_fleet,
+    )
+
+    if args.fleet_command == "report":
+        try:
+            checkpoint = load_checkpoint(args.checkpoint)
+        except OSError as exc:
+            raise SystemExit(f"cannot read checkpoint: {exc}")
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        report = report_from_checkpoint(checkpoint)
+        if not checkpoint.complete:
+            print(f"note: checkpoint holds {len(checkpoint.results)}/"
+                  f"{checkpoint.shards} shard(s); this report is "
+                  "partial (finish with 'fleet run --resume')",
+                  file=sys.stderr)
+        print(_fleet_json(report, complete=checkpoint.complete)
+              if args.as_json else format_report(report))
+        return 0
+
+    from repro import scenarios as scenario_registry
+
+    scenario_names = None
+    if args.scenarios is not None:
+        scenario_names = tuple(
+            name.strip() for name in args.scenarios.split(",")
+            if name.strip())
+        if not scenario_names:
+            # an explicitly passed empty list (e.g. an unset shell
+            # variable) must not silently become the full matrix
+            raise SystemExit("--scenarios was given but names no "
+                             "scenario (try 'python -m repro "
+                             "scenarios', or drop the flag for the "
+                             "robustness matrix)")
+        unknown = [name for name in scenario_names
+                   if name not in scenario_registry.names()]
+        if unknown:
+            raise SystemExit(f"unknown scenario(s): "
+                             f"{', '.join(unknown)} "
+                             f"(try 'python -m repro scenarios')")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume needs --checkpoint (there is "
+                         "nothing to resume from without one)")
+    try:
+        spec = FleetSpec(name=args.name, cells=args.cells,
+                         scenarios=scenario_names or (),
+                         slices=args.slices, episodes=args.episodes,
+                         slots=args.slots, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    snapshot = _load_serving_snapshot(args.store_dir, args.snapshot)
+    shards = parse_workers(args.shards, option="--shards")
+    try:
+        report = run_fleet(
+            spec, args.store_dir, snapshot_ref=snapshot.ref,
+            shards=shards, checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            progress=lambda line: print(line, file=sys.stderr),
+            snapshot=snapshot)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        # checkpoint I/O (reading an old one or writing the new one):
+        # unwritable directory, path through a file, EACCES...
+        raise SystemExit(f"checkpoint I/O failed: {exc}")
+    print(_fleet_json(report) if args.as_json
+          else format_report(report))
     return 0
 
 
@@ -502,6 +659,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command in ("serve", "loadgen"):
         return _run_serving(args,
                             report_telemetry=args.command == "serve")
+
+    if args.command == "fleet":
+        return _run_fleet(args)
 
     names = resolve_artefacts(args.artefacts)
     if args.scenario is not None:

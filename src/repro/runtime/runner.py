@@ -188,4 +188,15 @@ def _stub_result(unit: ExperimentUnit) -> Any:
 
 #: Workers picked when the caller asks for "auto" parallelism.
 def default_workers() -> int:
-    return max(1, (os.cpu_count() or 2) - 1)
+    """CPUs actually usable by this process, minus one for the parent.
+
+    Containers and batch schedulers routinely pin processes to a
+    subset of the machine (cgroups cpusets, ``taskset``), where
+    ``os.cpu_count()`` over-reports and oversubscribes the pool --
+    the affinity mask is authoritative when the platform exposes it.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 2
+    return max(1, cpus - 1)

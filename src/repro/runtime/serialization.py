@@ -70,6 +70,34 @@ DATACLASS_TYPES = {
 }
 
 
+#: Modules imported (lazily, in order) when decoding hits an unknown
+#: dataclass tag: packages above this layer register their types via
+#: :func:`register_dataclass` at import time, and a cold process can
+#: decode a cached result before anything imported them.  Module
+#: *names* only -- importing them here would recreate the cycle.
+LAZY_REGISTRATION_MODULES = ("repro.fleet",)
+
+
+def register_dataclass(cls: type) -> type:
+    """Opt a frozen declarative dataclass into the tagged round-trip.
+
+    Packages that sit *above* this module (e.g. :mod:`repro.fleet`)
+    register their specs/results at import time instead of being
+    imported here, which would create an import cycle through the
+    layers they build on (their module *name* goes in
+    :data:`LAZY_REGISTRATION_MODULES` so cold decodes can find them).
+    Returns ``cls`` so it works as a decorator.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    existing = DATACLASS_TYPES.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"dataclass tag {cls.__name__!r} is already "
+                         f"registered to {existing!r}")
+    DATACLASS_TYPES[cls.__name__] = cls
+    return cls
+
+
 def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-dumpable primitives."""
     if obj is None or isinstance(obj, (bool, int, float, str)):
@@ -135,11 +163,18 @@ def from_jsonable(obj: Any) -> Any:
                 obj["slice_name"], obj["app"], obj["bin_edges"],
                 [np.asarray(a, dtype=float) for a in obj["actions"]])
         if tag == "dataclass":
-            try:
-                cls = DATACLASS_TYPES[obj["type"]]
-            except KeyError:
+            cls = DATACLASS_TYPES.get(obj["type"])
+            if cls is None:
+                import importlib
+
+                for module in LAZY_REGISTRATION_MODULES:
+                    importlib.import_module(module)
+                    cls = DATACLASS_TYPES.get(obj["type"])
+                    if cls is not None:
+                        break
+            if cls is None:
                 raise ValueError(
-                    f"unknown dataclass tag {obj['type']!r}") from None
+                    f"unknown dataclass tag {obj['type']!r}")
             return cls(**from_jsonable(obj["fields"]))
         return {k: from_jsonable(v) for k, v in obj.items()}
     if isinstance(obj, list):

@@ -30,6 +30,13 @@ Methods
 ``figure``
     A whole single-run figure generator (``variant`` names it, e.g.
     ``fig12``); used for artefacts that cannot be decomposed further.
+``fleet``
+    A whole fleet campaign (:mod:`repro.fleet`) served from a
+    digest-pinned snapshot; ``params`` carry the
+    :class:`~repro.fleet.spec.FleetSpec`, the store directory, the
+    snapshot ref and its content digest, and the result is the
+    :class:`~repro.fleet.report.FleetReport`.  Shards run inline so
+    the unit stays deterministic under the runner's own process pool.
 """
 
 from __future__ import annotations
@@ -49,13 +56,19 @@ FIGURE_UNITS = ("fig5", "fig6", "fig10", "fig12", "fig14", "fig15",
                 "fig16", "fig17", "fig18", "fig19")
 
 METHODS = ("onslicing", "onrl", "baseline", "model_based",
-           "snapshot_eval", "figure")
+           "snapshot_eval", "figure", "fleet")
 
 #: Methods whose execution actually consumes ``unit.seed`` (the static
 #: baselines derive all randomness from the config's seed).  A seed
 #: override only rewrites these, so it never forces a gratuitous
 #: recompute of seed-independent units.
-SEED_CONSUMING_METHODS = ("onslicing", "onrl", "snapshot_eval")
+SEED_CONSUMING_METHODS = ("onslicing", "onrl", "snapshot_eval",
+                          "fleet")
+
+#: Methods that run without a (single) scenario: figures drive their
+#: own protocol, fleet units carry a whole scenario *cycle* in their
+#: FleetSpec.
+SCENARIO_FREE_METHODS = ("figure", "fleet")
 
 
 def schedule_epochs(scale: float, full_epochs: int) -> int:
@@ -104,7 +117,7 @@ class ExperimentUnit:
         (mirroring the harness semantics), so a custom config on a
         stress scenario keeps the stress.
         """
-        if self.method == "figure":
+        if self.method in SCENARIO_FREE_METHODS:
             return None
         if self.spec is not None:
             return self.spec
@@ -131,6 +144,10 @@ def make_unit(method: str, variant: str = "full",
         # figure units with make_figure_unit, which forwards *every*
         # keyword to the figure function.
         raise ValueError("use make_figure_unit() for figure units")
+    if method == "fleet":
+        # fleet units need the FleetSpec + pinned snapshot params and
+        # the resolved scenario cycle attached
+        raise ValueError("use make_fleet_unit() for fleet units")
     if scenario not in scenario_registry.names():
         raise ValueError(f"unknown scenario {scenario!r}; "
                          f"expected one of {scenario_registry.names()}")
@@ -150,6 +167,39 @@ def make_figure_unit(name: str, **params: Any) -> ExperimentUnit:
                           params=tuple(sorted(params.items())))
 
 
+def make_fleet_unit(spec: Any, store: str, snapshot: str,
+                    digest: str) -> ExperimentUnit:
+    """Build a unit that runs a whole fleet campaign.
+
+    ``spec`` is a :class:`~repro.fleet.spec.FleetSpec`; the snapshot
+    is pinned by store directory, ref *and* content digest (like
+    ``snapshot_eval`` units), so the cache key changes whenever the
+    served policy does.  The unit's seed mirrors the spec's so the
+    runner's ``--seed`` override rewrites the campaign coherently.
+    """
+    from repro.fleet.spec import FleetSpec
+
+    if not isinstance(spec, FleetSpec):
+        raise TypeError(f"spec must be a FleetSpec, got {type(spec)}")
+    unknown = [name for name in spec.scenario_cycle()
+               if name not in scenario_registry.names()]
+    if unknown:
+        raise ValueError(f"fleet spec {spec.name!r} names unknown "
+                         f"scenario(s): {', '.join(unknown)}")
+    # The resolved cycle travels with the unit (like `spec` on method
+    # units): a spawn/forkserver worker only has the built-in
+    # registry, and a user-registered scenario would otherwise be
+    # unresolvable there.  It also puts the resolved workloads into
+    # the cache key via `params`.
+    resolved = tuple(scenario_registry.get(name)
+                     for name in spec.scenario_cycle())
+    params = {"spec": spec, "store": store, "snapshot": snapshot,
+              "digest": digest, "scenario_specs": resolved}
+    return ExperimentUnit(method="fleet", variant=spec.name,
+                          seed=spec.seed,
+                          params=tuple(sorted(params.items())))
+
+
 def unit_cache_key(unit: ExperimentUnit) -> str:
     """Content key: config + scenario spec + variant + seed + params +
     code version.
@@ -158,9 +208,19 @@ def unit_cache_key(unit: ExperimentUnit) -> str:
     population) is hashed alongside the config: two scenarios with the
     same infrastructure config but different workloads never share a
     key, and editing a registered spec invalidates its cached results.
+    Fleet units hash every resolved spec of their scenario *cycle* for
+    the same reason.
     """
-    cfg = None if unit.method == "figure" else unit.resolve_config()
-    spec = unit.resolve_scenario()
+    cfg = (None if unit.method in SCENARIO_FREE_METHODS
+           else unit.resolve_config())
+    spec: Any = unit.resolve_scenario()
+    if unit.method == "fleet":
+        # prefer the resolved cycle carried in params (hand-built
+        # units without one fall back to the registry)
+        params = unit.kwargs()
+        spec = params.get("scenario_specs") or tuple(
+            scenario_registry.get(name)
+            for name in params["spec"].scenario_cycle())
     payload = {
         "config": dataclasses.asdict(cfg) if cfg is not None else None,
         "scenario_spec": spec,  # tagged-JSON encoded by content_key
@@ -192,6 +252,29 @@ def execute_unit(unit: ExperimentUnit) -> Any:
     if unit.method == "figure":
         from repro.experiments import figures
         return getattr(figures, unit.variant)(**p)
+    if unit.method == "fleet":
+        from repro.fleet import run_fleet
+        from repro.serve import PolicyStore
+
+        fleet_spec = p["spec"]
+        if unit.seed != fleet_spec.seed:
+            # the runner's --seed override reaches the whole campaign
+            fleet_spec = dataclasses.replace(fleet_spec, seed=unit.seed)
+        snapshot = PolicyStore(p["store"]).load(p["snapshot"])
+        if snapshot.digest != p["digest"]:
+            raise ValueError(
+                f"snapshot {p['snapshot']!r} changed since this fleet "
+                f"unit was planned (digest {snapshot.digest[:12]} != "
+                f"{p['digest'][:12]}); rebuild the units")
+        carried = p.get("scenario_specs")
+        scenarios = (dict(zip(fleet_spec.scenario_cycle(), carried))
+                     if carried else None)
+        # Shards stay inline (1): the unit itself is the parallelism
+        # grain -- the runner may already be fanning units over
+        # processes, and inline execution keeps results cache-exact.
+        return run_fleet(fleet_spec, p["store"],
+                         snapshot_ref=p["snapshot"], shards=1,
+                         scenarios=scenarios, snapshot=snapshot)
     cfg = unit.resolve_config()
     spec = unit.resolve_scenario()
     if unit.method == "onslicing":

@@ -39,7 +39,12 @@ from repro.scenarios.registry import (
     register,
     unregister,
 )
-from repro.scenarios.spec import ScenarioSpec, SliceTemplate, population
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    SliceTemplate,
+    first_episode_trace_digest,
+    population,
+)
 from repro.scenarios.traffic_models import (
     ENVELOPE_MAX,
     TRAFFIC_MODEL_TYPES,
@@ -79,6 +84,7 @@ __all__ = [
     "TraceReplayTraffic",
     "TrafficModel",
     "all_specs",
+    "first_episode_trace_digest",
     "get",
     "names",
     "population",

@@ -12,8 +12,11 @@ build time, never at declaration time.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.config import (
     ExperimentConfig,
@@ -117,3 +120,25 @@ class ScenarioSpec:
         cfg = cfg if cfg is not None else self.build_config()
         return ScenarioSimulator(cfg, rng=rng, traffic_model=self.traffic,
                                  events=self.events)
+
+
+def first_episode_trace_digest(spec: ScenarioSpec,
+                               seed: Optional[int] = None) -> str:
+    """SHA-256 over the first episode's per-slice traffic envelopes.
+
+    The digest pins what a scenario's workload *is*: any refactor of
+    the traffic models, the synthesizer, or RNG plumbing that changes
+    the traces a seed produces changes this digest.  The golden-digest
+    regression test asserts it for every catalog scenario, so silent
+    workload drift fails loudly instead of quietly skewing results.
+    """
+    cfg = spec.build_config(seed=seed)
+    simulator = spec.build_simulator(
+        cfg, rng=np.random.default_rng(cfg.seed))
+    simulator.reset()
+    digest = hashlib.sha256()
+    for name, trace in sorted(simulator.traces().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(
+            trace, dtype=np.float64).tobytes())
+    return digest.hexdigest()

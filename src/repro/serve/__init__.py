@@ -45,9 +45,14 @@ from repro.serve.service import (
     SlicingService,
 )
 from repro.serve.telemetry import Counter, Histogram, Telemetry
-from repro.serve.training import train_snapshot
+from repro.serve.training import (
+    DEFAULT_STORE_DIR,
+    resolve_serving_snapshot,
+    train_snapshot,
+)
 
 __all__ = [
+    "DEFAULT_STORE_DIR",
     "SNAPSHOT_METHODS",
     "Counter",
     "Decision",
@@ -61,6 +66,7 @@ __all__ = [
     "SnapshotInfo",
     "Telemetry",
     "evaluate_snapshot",
+    "resolve_serving_snapshot",
     "scenario_with_population",
     "snapshot_baseline",
     "snapshot_model_based",

@@ -9,6 +9,7 @@ snapshot -- no retraining per run.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from repro.config import ExperimentConfig
@@ -21,6 +22,10 @@ from repro.serve.policy_store import (
     snapshot_onrl,
     snapshot_onslicing,
 )
+
+#: Where ``python -m repro train --save`` (and every serving consumer)
+#: keeps snapshots unless told otherwise.
+DEFAULT_STORE_DIR = ".repro_policies"
 
 #: Paper-equivalent full schedules scaled by ``scale`` (the same
 #: shrink rule the robustness artefact uses).
@@ -86,3 +91,25 @@ def train_snapshot(method: str, scenario="default",
     if store is not None:
         snapshot = store.save(snapshot)
     return snapshot
+
+
+def resolve_serving_snapshot(store_dir: str,
+                             ref: Optional[str] = None
+                             ) -> PolicySnapshot:
+    """The snapshot a serving consumer (serve/loadgen/fleet) should
+    use: an explicit ``ref`` wins, else the newest stored snapshot,
+    else an empty store bootstraps a model-based snapshot (the only
+    method needing zero training) so every serving entry point works
+    from a fresh checkout.  The bootstrap note goes to stderr.
+    """
+    store = PolicyStore(store_dir)
+    if ref is not None:
+        return store.load(ref)
+    latest = store.latest()
+    if latest is not None:
+        return store.load(latest.ref)
+    print(f"note: policy store {store_dir!r} is empty; "
+          "bootstrapping a model_based snapshot (train your own with "
+          "'python -m repro train --save')", file=sys.stderr)
+    return train_snapshot("model_based", scenario="default",
+                          store=store)

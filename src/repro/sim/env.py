@@ -136,6 +136,16 @@ class ScenarioSimulator:
     def slot(self) -> int:
         return self._slot
 
+    def traces(self) -> Dict[str, np.ndarray]:
+        """This episode's per-slice traffic envelopes (copies).
+
+        Generated at :meth:`reset`; the golden-digest regression test
+        hashes these so workload refactors that silently change what
+        every scenario *is* fail loudly.
+        """
+        return {name: trace.copy()
+                for name, trace in self._traces.items()}
+
     # ---- event timeline --------------------------------------------------
 
     def _remove_event_slice(self, name: str) -> None:

@@ -1,0 +1,82 @@
+"""Golden-digest regression: every catalog scenario's workload is
+pinned.
+
+Each digest is the SHA-256 of the first episode's per-slice traffic
+envelopes under the scenario's own seed
+(:func:`repro.scenarios.first_episode_trace_digest`).  A refactor of
+the traffic models, the synthesizer, the RNG plumbing, or a scenario
+definition that changes what any catalog workload *is* fails here
+loudly instead of silently skewing every downstream result.
+
+If a change is *intentional*, re-pin with::
+
+    PYTHONPATH=src python - <<'PY'
+    from repro import scenarios
+    for name in scenarios.names():
+        digest = scenarios.first_episode_trace_digest(
+            scenarios.get(name))
+        print(f'    "{name}": "{digest}",')
+    PY
+
+Scenarios whose workload is the plain diurnal day (event-only
+scenarios, network overrides) intentionally share the default digest:
+events and infrastructure never touch the traces.
+"""
+
+import pytest
+
+from repro import scenarios
+
+_DEFAULT_TRACES = \
+    "c43055243ad2ce0877a952d1a32e8ae33a4054138831cfe0dff9bfb35c9c60e8"
+
+#: scenario name -> pinned first-episode trace digest.
+GOLDEN_TRACE_DIGESTS = {
+    "default": _DEFAULT_TRACES,
+    # network/event-only variants: same diurnal traces by design
+    "lte_fixed_mcs": _DEFAULT_TRACES,
+    "nr_fixed_mcs": _DEFAULT_TRACES,
+    "link_degradation": _DEFAULT_TRACES,
+    "latency_surge": _DEFAULT_TRACES,
+    "slice_churn": _DEFAULT_TRACES,
+    # distinct workloads
+    "short_horizon":
+        "cbe28e7cc6a509b9cbd6f4bda0ade3652f915456b8facdc31288bcbe28f8ef70",
+    "flash_crowd":
+        "4f33f3d7d39e7932b16ec7a0d40a29bc686e2148000179871c334d925326e8bb",
+    "bursty":
+        "99bd39a4bab7bbcfae3abf217dcc979c4a0f316258390b66c5a70fc6cf467c21",
+    "drift":
+        "4209c115c77ca86d56b1e3f29df10fdb61477373a596524bc946aaa4555ea6a5",
+    "six_slices":
+        "10231ec7e9733d8c29feb335c8ca7f90c4b4b4f0925ddc2d2e3186dd9a54f5f8",
+}
+
+
+def test_every_catalog_scenario_is_pinned():
+    """A new catalog scenario must add its golden digest here."""
+    missing = [name for name in scenarios.names()
+               if name not in GOLDEN_TRACE_DIGESTS]
+    assert not missing, (
+        f"catalog scenario(s) without a pinned trace digest: "
+        f"{missing}; add them to GOLDEN_TRACE_DIGESTS (see module "
+        "docstring)")
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TRACE_DIGESTS))
+def test_first_episode_trace_digest(name):
+    spec = scenarios.get(name)
+    digest = scenarios.first_episode_trace_digest(spec)
+    assert digest == GOLDEN_TRACE_DIGESTS[name], (
+        f"scenario {name!r} no longer produces its pinned workload "
+        "-- a traffic-model/event/RNG refactor changed the traces. "
+        "If intentional, re-pin (see module docstring); otherwise "
+        "this just caught a silent workload regression.")
+
+
+def test_digest_is_deterministic_and_seed_sensitive():
+    spec = scenarios.get("flash_crowd")
+    again = scenarios.first_episode_trace_digest(spec)
+    assert again == GOLDEN_TRACE_DIGESTS["flash_crowd"]
+    other_seed = scenarios.first_episode_trace_digest(spec, seed=999)
+    assert other_seed != GOLDEN_TRACE_DIGESTS["flash_crowd"]
