@@ -1,0 +1,91 @@
+"""Engine throughput: batched lockstep vs scalar world stepping.
+
+The batched engine's core claim (the ROADMAP's "fast as the hardware
+allows", inside one process): stepping B=32 independent worlds
+through one :class:`~repro.engine.batch.BatchSimulator` kernel
+evaluation per slot must beat stepping the same 32 worlds
+sequentially through the scalar loop by a wide margin.  The gate is
+>= 4x slot throughput; on a typical machine the measured ratio is
+higher.
+
+Both engines traverse identical kernels under identical seeds, so
+the ratio isolates batching -- and the bench asserts the two engines'
+episode totals are *equal*, making every run a live parity check.
+Decisions/sec (slice-decisions applied per second of engine time)
+lands in the benchmark's ``extra_info``, so the JSON trajectory
+records engine throughput over time alongside the artefact timings.
+
+``REPRO_BENCH_QUICK=1`` shrinks the horizon for CI smoke runs; the
+gate applies either way.
+"""
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.config import NUM_ACTIONS
+from repro.engine import ConstantBatchPolicy
+from repro.experiments.harness import make_simulators, run_episodes
+from repro.scenarios import get as get_scenario
+
+BATCH = 32
+SLOTS = 24 if os.environ.get("REPRO_BENCH_QUICK") else 96
+
+#: The acceptance gate: vector world-slots/sec over scalar.
+MIN_SPEEDUP = 4.0
+
+
+def _make_worlds():
+    spec = get_scenario("default")
+    traffic = dataclasses.replace(spec.build_config().traffic,
+                                  slots_per_episode=SLOTS)
+    spec = dataclasses.replace(spec, traffic_cfg=traffic)
+    cfg = spec.build_config()
+    return make_simulators(cfg, spec, count=BATCH), cfg
+
+
+def _drive(engine: str):
+    sims, cfg = _make_worlds()
+    policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.25))
+    start = time.perf_counter()
+    totals = run_episodes(sims, policy, episodes=1, engine=engine)
+    elapsed = time.perf_counter() - start
+    slices = len(cfg.slices)
+    return {"elapsed_s": elapsed, "totals": totals,
+            "world_slots": BATCH * SLOTS,
+            "decisions": BATCH * SLOTS * slices}
+
+
+def test_engine_vector_vs_scalar(benchmark):
+    # one warm-up lockstep episode: kernels, layout caches
+    _drive("vector")
+
+    vector = run_once(benchmark, _drive, "vector")
+    scalar = _drive("scalar")
+
+    assert vector["totals"] == scalar["totals"], \
+        "engine parity violation: vector and scalar totals differ"
+
+    vector_rate = vector["world_slots"] / vector["elapsed_s"]
+    scalar_rate = scalar["world_slots"] / scalar["elapsed_s"]
+    decisions_per_sec = vector["decisions"] / vector["elapsed_s"]
+    speedup = vector_rate / scalar_rate
+    benchmark.extra_info["engine_batch"] = BATCH
+    benchmark.extra_info["engine_slots"] = SLOTS
+    benchmark.extra_info["vector_world_slots_per_sec"] = vector_rate
+    benchmark.extra_info["scalar_world_slots_per_sec"] = scalar_rate
+    benchmark.extra_info["decisions_per_sec"] = decisions_per_sec
+    benchmark.extra_info["speedup"] = speedup
+
+    print(f"\nEngine slot throughput at B={BATCH} "
+          f"({SLOTS}-slot episodes):")
+    print(f"  scalar  {scalar_rate:12,.0f} world-slots/s")
+    print(f"  vector  {vector_rate:12,.0f} world-slots/s "
+          f"({decisions_per_sec:,.0f} decisions/s)")
+    print(f"  speedup {speedup:12.1f}x  (gate: >= "
+          f"{MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP

@@ -1,0 +1,54 @@
+"""The batched episode engine.
+
+``repro.engine`` turns the paper's one-world, one-slot-at-a-time MDP
+into flat array math:
+
+* :mod:`repro.engine.kernels` -- the vectorised slot kernels shared by
+  the scalar :class:`~repro.sim.env.ScenarioSimulator` (``R = S``
+  rows) and the batch engine, so both are bit-identical by
+  construction;
+* :mod:`repro.engine.batch` -- :class:`BatchSimulator`, stepping B
+  heterogeneous worlds in lockstep with per-world RNG stream parity;
+* :mod:`repro.engine.policies` -- the :class:`BatchPolicy` protocol
+  plus vectorised rule-based / model-based / actor-critic policies,
+  batched projection, and the vectorised-env OnRL learner.
+
+The layers above consume it through
+:func:`repro.experiments.harness.run_episodes`, the fleet shard's
+vector driver, and the ``--engine`` CLI switches.
+"""
+
+from repro.engine.batch import BatchSimulator, BatchStepResult
+from repro.engine.kernels import (
+    SliceRows,
+    WorldConditions,
+    concat_rows,
+    evaluate_rows,
+    rows_for_network,
+)
+from repro.engine.policies import (
+    ActorCriticBatchPolicy,
+    BatchPolicy,
+    ConstantBatchPolicy,
+    ModelBasedBatchPolicy,
+    RuleBasedBatchPolicy,
+    VecOnRLAgent,
+    project_actions_batch,
+)
+
+__all__ = [
+    "ActorCriticBatchPolicy",
+    "BatchPolicy",
+    "BatchSimulator",
+    "BatchStepResult",
+    "ConstantBatchPolicy",
+    "ModelBasedBatchPolicy",
+    "RuleBasedBatchPolicy",
+    "SliceRows",
+    "VecOnRLAgent",
+    "WorldConditions",
+    "concat_rows",
+    "evaluate_rows",
+    "project_actions_batch",
+    "rows_for_network",
+]

@@ -1,0 +1,586 @@
+"""Vectorised slot kernels: the paper's MDP as flat array math.
+
+This module is the numeric core of the batched engine.  It evaluates
+one configuration slot for ``R`` (world, slice) *rows* at once -- the
+per-slice scalar pipeline of :mod:`repro.sim.network`,
+:mod:`repro.sim.ran`, :mod:`repro.sim.phy`, :mod:`repro.sim.apps`,
+:mod:`repro.sim.queueing` and the container/core/edge models, extracted
+into numpy kernels.  A row bundle may hold one world's slices (the
+scalar :class:`~repro.sim.env.ScenarioSimulator`, which routes its
+``step`` through these kernels with ``R = S``) or every slice of every
+world in a :class:`~repro.engine.batch.BatchSimulator` (``R = sum_b
+S_b``).
+
+Parity contract
+---------------
+Every kernel replicates the *operation order* of the historical scalar
+code (association of sums/products, clip bounds, branch structure,
+reduction order for the small per-slice user populations), so a row
+evaluated alone is bit-identical to the same row evaluated inside a
+larger batch: numpy elementwise ufuncs are value-deterministic
+regardless of array length, and the only cross-row reductions
+(transport path loads) accumulate with ``np.add.at`` in row order --
+the same order the scalar loop reserved meters in.  The engine parity
+suite (``tests/test_engine.py``) asserts this bit-exactness against
+the scalar simulator for every catalog scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.config import (
+    MAX_MCS_OFFSET,
+    NUM_ACTIONS,
+    USAGE_ACTION_INDICES,
+)
+from repro.sim.phy import MCS_TABLE, NUM_CQI, NUM_MCS
+from repro.sim.queueing import RHO_KNEE
+
+#: MCS spectral-efficiency table as an array (same values as the
+#: scalar lookups in :mod:`repro.sim.phy`).
+_MCS_EFF = np.asarray(MCS_TABLE, dtype=np.float64)
+
+#: Usage-counted action columns (paper Eq. 9).
+_USAGE_COLS = np.asarray(USAGE_ACTION_INDICES, dtype=np.intp)
+
+#: Consumable-share floor (mirrors SliceAllocation.MIN_SHARE).
+_MIN_SHARE = 0.01
+
+#: Application codes used by the row layout.
+APP_CODES: Dict[str, int] = {"mar": 0, "hvs": 1, "rdc": 2}
+
+
+def queueing_latency_rows(service_ms: np.ndarray,
+                          rho: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`repro.sim.queueing.queueing_latency_ms`.
+
+    M/M/1 below the knee utilisation, the linear finite-buffer overload
+    regime above it -- branch structure and float association exactly
+    as the scalar function.
+    """
+    rho = np.maximum(rho, 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        below = service_ms / (1.0 - rho)
+        knee = service_ms / (1.0 - RHO_KNEE)
+        slope = service_ms / (1.0 - RHO_KNEE) ** 2
+        above = knee + slope * (rho - RHO_KNEE)
+    return np.where(rho < RHO_KNEE, below, above)
+
+
+@dataclass
+class SliceRows:
+    """Static per-row constants for a set of (world, slice) rows.
+
+    Built once per world from its :class:`~repro.sim.network
+    .EndToEndNetwork` (and rebuilt only on slice churn), then
+    concatenated across worlds by the batch engine.  All arrays are
+    length ``R`` except the per-world tables noted below.
+    """
+
+    # -- identity ------------------------------------------------------
+    names: List[str]                  # row slice names, world-major
+    metrics: List[str]                # SLA metric name per row
+    world: np.ndarray                 # (R,) world index of each row
+    num_worlds: int
+
+    # -- slice/application constants ----------------------------------
+    app: np.ndarray                   # (R,) APP_CODES
+    max_arrival: np.ndarray
+    ul_bits: np.ndarray
+    dl_bits: np.ndarray
+    sum_bits: np.ndarray              # ul_bits + dl_bits (pre-added)
+    compute_units: np.ndarray
+    sla_target: np.ndarray
+    cost_threshold: np.ndarray
+    lower_better: np.ndarray          # (R,) bool
+
+    # -- RAN / PHY (row-expanded world constants) ----------------------
+    ul_prbs_total: np.ndarray
+    dl_prbs_total: np.ndarray
+    prb_bandwidth_hz: np.ndarray
+    uplink_fraction: np.ndarray
+    downlink_fraction: np.ndarray
+    overhead: np.ndarray
+    fixed_mcs: np.ndarray             # (R,) int (-1: link adaptation)
+    ran_base_latency_ms: np.ndarray
+    base_retx_ul: np.ndarray
+    base_retx_dl: np.ndarray
+    decay_ul: np.ndarray
+    decay_dl: np.ndarray
+
+    # -- transport -----------------------------------------------------
+    link_capacity_bps: np.ndarray     # (R,)
+    hop_latency_ms: np.ndarray        # (R,)
+    num_paths: np.ndarray             # (R,) int
+    path_hops: np.ndarray             # (W, Pmax) int, padded per world
+    link_capacity_w: np.ndarray       # (W,)
+
+    # -- core / edge ---------------------------------------------------
+    sgwu_capacity_pps: np.ndarray
+    num_sgwu: np.ndarray              # (R,) int
+    core_base_latency_ms: np.ndarray
+    mean_packet_bits: np.ndarray
+    edge_capacity_ups: np.ndarray
+    total_ram_gb: np.ndarray
+    ram_gb_per_ups: np.ndarray
+
+    # -- channel population -------------------------------------------
+    users: np.ndarray                 # (R,) int users per row's slice
+    horizon: np.ndarray               # (R,) int episode horizon
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.names)
+
+
+def rows_for_network(network, horizon: int,
+                     world: int = 0) -> SliceRows:
+    """Build the static row constants of one world's current slices.
+
+    ``network`` is an :class:`~repro.sim.network.EndToEndNetwork`;
+    rows follow ``network.slice_names`` order (managed and background
+    churn slices alike -- the caller masks, exactly as the scalar
+    simulator reports only managed slices).
+    """
+    cfg = network.cfg
+    phy = network.cell.phy
+    names = list(network.slice_names)
+    specs = [network.slices[name] for name in names]
+    n = len(names)
+
+    def const(value, dtype=np.float64):
+        return np.full(n, value, dtype=dtype)
+
+    hops = np.asarray(
+        [network.fabric.path_hops(k)
+         for k in range(network.fabric.num_paths)], dtype=np.intp)
+    return SliceRows(
+        names=names,
+        metrics=[spec.sla.metric for spec in specs],
+        world=np.full(n, world, dtype=np.intp),
+        num_worlds=world + 1,
+        app=np.asarray([APP_CODES[spec.app] for spec in specs],
+                       dtype=np.intp),
+        max_arrival=np.asarray([spec.max_arrival_rate
+                                for spec in specs]),
+        ul_bits=np.asarray([spec.uplink_payload_bits
+                            for spec in specs]),
+        dl_bits=np.asarray([spec.downlink_payload_bits
+                            for spec in specs]),
+        sum_bits=np.asarray([spec.uplink_payload_bits
+                             + spec.downlink_payload_bits
+                             for spec in specs]),
+        compute_units=np.asarray([spec.compute_units
+                                  for spec in specs]),
+        sla_target=np.asarray([spec.sla.target for spec in specs]),
+        cost_threshold=np.asarray([spec.sla.cost_threshold
+                                   for spec in specs]),
+        lower_better=np.asarray([spec.sla.lower_is_better
+                                 for spec in specs], dtype=bool),
+        ul_prbs_total=const(network.cell.uplink_prbs),
+        dl_prbs_total=const(network.cell.downlink_prbs),
+        prb_bandwidth_hz=const(cfg.ran.prb_bandwidth_hz),
+        uplink_fraction=const(cfg.ran.uplink_fraction),
+        downlink_fraction=const(cfg.ran.downlink_fraction),
+        overhead=const(cfg.ran.overhead),
+        fixed_mcs=const(cfg.ran.fixed_mcs, dtype=np.intp),
+        ran_base_latency_ms=const(cfg.ran.base_latency_ms),
+        base_retx_ul=const(phy.base_retx_ul),
+        base_retx_dl=const(phy.base_retx_dl),
+        decay_ul=const(phy.uplink_bler_decay),
+        decay_dl=const(phy.downlink_bler_decay),
+        link_capacity_bps=const(cfg.transport.link_capacity_bps),
+        hop_latency_ms=const(cfg.transport.hop_latency_ms),
+        num_paths=const(network.fabric.num_paths, dtype=np.intp),
+        path_hops=hops[None, :],
+        link_capacity_w=np.asarray([cfg.transport.link_capacity_bps]),
+        sgwu_capacity_pps=const(cfg.core.sgwu_capacity_pps),
+        num_sgwu=const(cfg.core.num_sgwu_per_slice, dtype=np.intp),
+        core_base_latency_ms=const(cfg.core.base_latency_ms),
+        mean_packet_bits=const(cfg.core.mean_packet_bits),
+        edge_capacity_ups=const(cfg.edge.compute_capacity_ups),
+        total_ram_gb=const(cfg.edge.total_ram_gb),
+        ram_gb_per_ups=const(cfg.edge.ram_gb_per_ups),
+        users=const(cfg.users_per_slice, dtype=np.intp),
+        horizon=const(horizon, dtype=np.intp),
+    )
+
+
+def concat_rows(parts: Sequence[SliceRows]) -> SliceRows:
+    """Concatenate per-world row bundles into one multi-world bundle.
+
+    World indices are renumbered 0..W-1 in ``parts`` order; the
+    per-world path-hops tables are padded to the widest path count.
+    """
+    if not parts:
+        raise ValueError("need at least one world")
+    pmax = max(part.path_hops.shape[1] for part in parts)
+    hop_tables = []
+    for part in parts:
+        table = part.path_hops
+        if table.shape[1] < pmax:
+            pad = np.zeros((table.shape[0], pmax - table.shape[1]),
+                           dtype=table.dtype)
+            table = np.concatenate([table, pad], axis=1)
+        hop_tables.append(table)
+    world = np.concatenate([
+        np.full(part.num_rows, index, dtype=np.intp)
+        for index, part in enumerate(parts)])
+
+    def cat(field):
+        return np.concatenate([getattr(part, field) for part in parts])
+
+    return SliceRows(
+        names=[name for part in parts for name in part.names],
+        metrics=[m for part in parts for m in part.metrics],
+        world=world,
+        num_worlds=len(parts),
+        app=cat("app"),
+        max_arrival=cat("max_arrival"),
+        ul_bits=cat("ul_bits"),
+        dl_bits=cat("dl_bits"),
+        sum_bits=cat("sum_bits"),
+        compute_units=cat("compute_units"),
+        sla_target=cat("sla_target"),
+        cost_threshold=cat("cost_threshold"),
+        lower_better=cat("lower_better"),
+        ul_prbs_total=cat("ul_prbs_total"),
+        dl_prbs_total=cat("dl_prbs_total"),
+        prb_bandwidth_hz=cat("prb_bandwidth_hz"),
+        uplink_fraction=cat("uplink_fraction"),
+        downlink_fraction=cat("downlink_fraction"),
+        overhead=cat("overhead"),
+        fixed_mcs=cat("fixed_mcs"),
+        ran_base_latency_ms=cat("ran_base_latency_ms"),
+        base_retx_ul=cat("base_retx_ul"),
+        base_retx_dl=cat("base_retx_dl"),
+        decay_ul=cat("decay_ul"),
+        decay_dl=cat("decay_dl"),
+        link_capacity_bps=cat("link_capacity_bps"),
+        hop_latency_ms=cat("hop_latency_ms"),
+        num_paths=cat("num_paths"),
+        path_hops=np.concatenate(hop_tables, axis=0),
+        link_capacity_w=cat("link_capacity_w"),
+        sgwu_capacity_pps=cat("sgwu_capacity_pps"),
+        num_sgwu=cat("num_sgwu"),
+        core_base_latency_ms=cat("core_base_latency_ms"),
+        mean_packet_bits=cat("mean_packet_bits"),
+        edge_capacity_ups=cat("edge_capacity_ups"),
+        total_ram_gb=cat("total_ram_gb"),
+        ram_gb_per_ups=cat("ram_gb_per_ups"),
+        users=cat("users"),
+        horizon=cat("horizon"),
+    )
+
+
+@dataclass
+class WorldConditions:
+    """Per-world transport fault-injection state for one slot."""
+
+    capacity_scale: np.ndarray          # (W,)
+    extra_latency_ms: np.ndarray        # (W,)
+    background_load_fraction: np.ndarray  # (W,)
+
+    @classmethod
+    def nominal(cls, num_worlds: int) -> "WorldConditions":
+        return cls(capacity_scale=np.ones(num_worlds),
+                   extra_latency_ms=np.zeros(num_worlds),
+                   background_load_fraction=np.zeros(num_worlds))
+
+    @classmethod
+    def from_fabrics(cls, fabrics) -> "WorldConditions":
+        return cls(
+            capacity_scale=np.asarray(
+                [fabric.capacity_scale for fabric in fabrics]),
+            extra_latency_ms=np.asarray(
+                [fabric.extra_latency_ms for fabric in fabrics]),
+            background_load_fraction=np.asarray(
+                [fabric.background_load_fraction for fabric in fabrics]))
+
+
+def _seq_user_sum(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Sum over the user axis in strict left-to-right order.
+
+    Mirrors the scalar per-user ``+=`` accumulation; masked (padded)
+    entries contribute exactly 0.0, which is addition-neutral for the
+    non-negative quantities summed here.
+    """
+    total = np.zeros(values.shape[0])
+    for j in range(values.shape[1]):
+        total = total + np.where(mask[:, j], values[:, j], 0.0)
+    return total
+
+
+def evaluate_rows(rows: SliceRows, cond: WorldConditions,
+                  actions: np.ndarray, rates: np.ndarray,
+                  cqi: np.ndarray, margin_db: np.ndarray
+                  ) -> Dict[str, np.ndarray]:
+    """Evaluate one configuration slot for every row at once.
+
+    Parameters
+    ----------
+    rows / cond:
+        Static row constants and this slot's per-world transport
+        conditions.
+    actions:
+        ``(R, NUM_ACTIONS)`` raw caller actions (pre-clip, as handed to
+        the scalar ``evaluate_slot`` -- Eq. 9 usage is computed on the
+        raw values, allocation decoding clips internally).
+    rates:
+        ``(R,)`` realised arrivals/s.
+    cqi / margin_db:
+        ``(R, Umax)`` per-user CQI and channel margin (current SNR
+        minus per-user mean), padded past ``rows.users`` per row.
+
+    Returns a dict of ``(R,)`` arrays (plus the ``(W, Pmax)`` transport
+    ``path_loads`` for state write-back) covering every
+    :class:`~repro.sim.network.SlotReport` field.
+    """
+    raw = np.asarray(actions, dtype=np.float64)
+    if raw.shape != (rows.num_rows, NUM_ACTIONS):
+        raise ValueError(
+            f"actions must have shape ({rows.num_rows}, {NUM_ACTIONS})"
+            f", got {raw.shape}")
+    arr = np.clip(raw, 0.0, 1.0)
+
+    # ---- action decode (SliceAllocation.from_action) -----------------
+    ul_bw = np.maximum(arr[:, 0], _MIN_SHARE)
+    dl_bw = np.maximum(arr[:, 3], _MIN_SHARE)
+    ul_off = np.rint(arr[:, 1] * MAX_MCS_OFFSET).astype(np.intp)
+    dl_off = np.rint(arr[:, 4] * MAX_MCS_OFFSET).astype(np.intp)
+    ul_sched = np.clip(arr[:, 2] * 3, 0, 2).astype(np.intp)
+    dl_sched = np.clip(arr[:, 5] * 3, 0, 2).astype(np.intp)
+    tn_bw = np.maximum(arr[:, 6], _MIN_SHARE)
+    tn_path = np.clip(arr[:, 7] * rows.num_paths, 0,
+                      rows.num_paths - 1).astype(np.intp)
+    cpu = np.maximum(arr[:, 8], _MIN_SHARE)
+    ram = np.maximum(arr[:, 9], _MIN_SHARE)
+
+    user_mask = (np.arange(cqi.shape[1])[None, :]
+                 < rows.users[:, None])
+
+    # ---- RAN capacities (RadioCell.slice_capacity, vectorised) -------
+    ul = _radio_direction(rows, ul_bw, ul_off, ul_sched, cqi,
+                          margin_db, user_mask, uplink=True)
+    dl = _radio_direction(rows, dl_bw, dl_off, dl_sched, cqi,
+                          margin_db, user_mask, uplink=False)
+
+    # ---- transport (TransportFabric reserve + evaluate) --------------
+    eff_cap_w = rows.link_capacity_w * cond.capacity_scale
+    eff_cap = eff_cap_w[rows.world]
+    loads = (cond.background_load_fraction
+             * eff_cap_w)[:, None] * np.ones(
+                 (1, rows.path_hops.shape[1]))
+    np.add.at(loads, (rows.world, tn_path), tn_bw * eff_cap)
+    offered_bps = rates * rows.sum_bits
+    tn_cap = np.clip(tn_bw, 0.0, 1.0) * eff_cap
+    utilization = np.minimum(loads[rows.world, tn_path] / eff_cap,
+                             0.99)
+    queueing_ms = (rows.hop_latency_ms * utilization
+                   / (1.0 - utilization))
+    hops = rows.path_hops[rows.world, tn_path]
+    tn_latency = (hops * rows.hop_latency_ms + queueing_ms
+                  + cond.extra_latency_ms[rows.world])
+    tn_latency = np.where((tn_cap <= 0) & (offered_bps > 0),
+                          np.inf, tn_latency)
+
+    # ---- core (CoreNetwork.set_slice_resources + evaluate) -----------
+    per_cpu = np.clip(cpu, 0.0, 1.0) / rows.num_sgwu
+    cpu_total = np.zeros(rows.num_rows)
+    for j in range(int(rows.num_sgwu.max())):
+        cpu_total = cpu_total + np.where(j < rows.num_sgwu,
+                                         per_cpu, 0.0)
+    core_mu = cpu_total * rows.sgwu_capacity_pps
+    core_lam = offered_bps / rows.mean_packet_bits
+    with np.errstate(divide="ignore", invalid="ignore"):
+        core_util = np.where(core_mu > 0, core_lam / core_mu,
+                             np.where(core_lam > 0, 1.0, 0.0))
+        core_latency = np.where(
+            core_mu > 0,
+            rows.core_base_latency_ms
+            + queueing_latency_rows(1e3 / np.where(core_mu > 0,
+                                                   core_mu, 1.0),
+                                    core_util),
+            np.inf)
+    core_pps = np.where(core_mu > 0, core_mu, 0.0)
+    core_util_capped = np.minimum(core_util, 1.0)
+
+    # ---- edge (EdgeServerPool.set_resources + evaluate) --------------
+    edge_cpu = np.clip(cpu, 0.0, 1.0)
+    edge_ram_gb = np.clip(ram, 0.0, 1.0) * rows.total_ram_gb
+    work_rate = (rates * rows.compute_units) * 1.0
+    edge_mu = edge_cpu * rows.edge_capacity_ups
+    required_ram = work_rate * rows.ram_gb_per_ups
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ram_penalty = np.where(
+            (required_ram > 0) & (edge_ram_gb < required_ram),
+            np.maximum(edge_ram_gb / np.where(required_ram > 0,
+                                              required_ram, 1.0),
+                       0.1),
+            1.0)
+    edge_mu_eff = edge_mu * ram_penalty
+    with np.errstate(divide="ignore", invalid="ignore"):
+        edge_util = np.where(edge_mu_eff > 0,
+                             work_rate / np.where(edge_mu_eff > 0,
+                                                  edge_mu_eff, 1.0),
+                             np.where(work_rate > 0, 1.0, 0.0))
+        edge_latency = np.where(
+            edge_mu_eff > 0,
+            queueing_latency_rows(
+                1e3 / np.where(edge_mu_eff > 0, edge_mu_eff, 1.0)
+                * 1.0,
+                edge_util),
+            np.where(work_rate > 0, np.inf, 0.0))
+    edge_util_capped = np.minimum(edge_util, 1.0)
+
+    # ---- applications (repro.sim.apps, vectorised per app) -----------
+    value, satisfaction = _evaluate_apps(
+        rows, rates, ul["capacity"], dl["capacity"], ul["retx"],
+        dl["retx"], tn_cap, tn_latency, core_latency, core_pps,
+        edge_latency)
+    cost = 1.0 - satisfaction
+
+    # ---- usage + state features --------------------------------------
+    usage = np.zeros(rows.num_rows)
+    for col in _USAGE_COLS:
+        usage = usage + raw[:, col]
+    usage = usage / len(_USAGE_COLS)
+    radio_usage = 0.5 * (ul_bw + dl_bw)
+    workload = 0.5 * (core_util_capped + edge_util_capped)
+    cqi_sum = _seq_user_sum(cqi.astype(np.float64), user_mask)
+    channel_quality = (cqi_sum / rows.users) / NUM_CQI
+
+    return {
+        "value": value,
+        "satisfaction": satisfaction,
+        "cost": cost,
+        "usage": usage,
+        "radio_usage": radio_usage,
+        "workload": workload,
+        "ul_capacity_bps": ul["capacity"],
+        "dl_capacity_bps": dl["capacity"],
+        "ul_retx": ul["retx"],
+        "dl_retx": dl["retx"],
+        "transport_latency_ms": tn_latency,
+        "transport_rate_bps": tn_cap,
+        "core_latency_ms": core_latency,
+        "edge_latency_ms": edge_latency,
+        "channel_quality": channel_quality,
+        "path_loads": loads,
+    }
+
+
+def _radio_direction(rows: SliceRows, share: np.ndarray,
+                     mcs_offset: np.ndarray, scheduler: np.ndarray,
+                     cqi: np.ndarray, margin_db: np.ndarray,
+                     user_mask: np.ndarray,
+                     uplink: bool) -> Dict[str, np.ndarray]:
+    """One direction of ``RadioCell.slice_capacity`` for all rows."""
+    total = rows.ul_prbs_total if uplink else rows.dl_prbs_total
+    duty = rows.uplink_fraction if uplink else rows.downlink_fraction
+    base_retx = rows.base_retx_ul if uplink else rows.base_retx_dl
+    decay = rows.decay_ul if uplink else rows.decay_dl
+
+    prbs = np.rint(np.clip(share, 0.0, 1.0) * total)
+    prbs = np.where((share > 1e-3) & (prbs == 0), 1.0, prbs)
+
+    # per-user effective MCS and first-transmission error probability
+    vanilla = np.clip(2 * cqi - 2, 0, NUM_MCS - 1)
+    base_mcs = np.where(rows.fixed_mcs[:, None] >= 0,
+                        rows.fixed_mcs[:, None], vanilla)
+    mcs = np.clip(base_mcs - mcs_offset[:, None], 0, NUM_MCS - 1)
+    eff = _MCS_EFF[mcs]
+    retx = (base_retx[:, None]
+            * np.power(decay[:, None],
+                       mcs_offset[:, None].astype(np.float64)))
+    retx = retx * np.power(10.0, -margin_db / 6.0)
+    retx = np.clip(retx, 1e-9, 0.99)
+    goodput = eff * (1.0 - retx) / (1.0 + retx)
+
+    retx_mean = _seq_user_sum(retx, user_mask) / rows.users
+    good_sum = _seq_user_sum(goodput, user_mask)
+    mean_eff = good_sum / rows.users
+    best_eff = np.where(user_mask, goodput, -np.inf).max(axis=1)
+    agg = np.where(
+        scheduler == 0, mean_eff,
+        np.where(scheduler == 2,
+                 0.9 * best_eff + 0.1 * mean_eff,
+                 0.6 * best_eff + 0.4 * mean_eff))
+    capacity = (prbs * rows.prb_bandwidth_hz * duty * agg
+                * (1.0 - rows.overhead))
+    return {"capacity": capacity, "retx": retx_mean, "prbs": prbs}
+
+
+def _mm1_rows(payload_bits: np.ndarray, capacity_bps: np.ndarray,
+              demand_bps: np.ndarray) -> np.ndarray:
+    """Vectorised ``repro.sim.apps._mm1_latency_ms``."""
+    safe_cap = np.where(capacity_bps > 0, capacity_bps, 1.0)
+    rho = demand_bps / safe_cap
+    service_ms = payload_bits / safe_cap * 1e3
+    latency = queueing_latency_rows(service_ms, rho)
+    return np.where(capacity_bps > 0, latency, np.inf)
+
+
+def _satisfaction_rows(rows: SliceRows,
+                       measured: np.ndarray) -> np.ndarray:
+    """Vectorised ``repro.sim.apps._satisfaction`` (both orientations)."""
+    target = rows.sla_target
+    safe = np.where(measured > 0, measured, 1.0)
+    with np.errstate(invalid="ignore"):
+        lower_ratio = np.where(
+            measured <= 0, 1.0,
+            np.where(np.isfinite(measured), target / safe, 0.0))
+        higher_ratio = measured / target
+    ratio = np.where(rows.lower_better, lower_ratio, higher_ratio)
+    return np.clip(ratio, 0.0, 1.0)
+
+
+def _evaluate_apps(rows: SliceRows, rates: np.ndarray,
+                   ul_cap: np.ndarray, dl_cap: np.ndarray,
+                   ul_retx: np.ndarray, dl_retx: np.ndarray,
+                   tn_rate: np.ndarray, tn_latency: np.ndarray,
+                   core_latency: np.ndarray, core_pps: np.ndarray,
+                   edge_latency: np.ndarray):
+    """Dispatch the per-app performance models over all rows at once."""
+    value = np.zeros(rows.num_rows)
+
+    # MAR: round-trip frame latency ------------------------------------
+    ul_demand = rates * rows.ul_bits
+    dl_demand = rates * rows.dl_bits
+    effective_ul = np.where(tn_rate > 0,
+                            np.minimum(ul_cap, tn_rate), 0.0)
+    ul_ms = _mm1_rows(rows.ul_bits, effective_ul, ul_demand)
+    dl_ms = _mm1_rows(rows.dl_bits, dl_cap, dl_demand)
+    harq_ms = 8.0 * (ul_retx + dl_retx)
+    mar_latency = (rows.ran_base_latency_ms + ul_ms + dl_ms + harq_ms
+                   + tn_latency + core_latency + edge_latency)
+
+    # HVS: delivered FPS -----------------------------------------------
+    target_fps = rows.sla_target
+    hvs_demand = (rates * target_fps) * rows.dl_bits
+    core_bps = core_pps * rows.mean_packet_bits
+    supply = np.minimum(np.minimum(dl_cap, tn_rate), core_bps)
+    safe_demand = np.where(hvs_demand > 0, hvs_demand, 1.0)
+    hvs_fps = target_fps * np.minimum(supply / safe_demand, 1.0)
+    hvs_fps = hvs_fps * (1.0 - 0.5 * dl_retx)
+    hvs_fps = np.where(hvs_demand <= 0, target_fps, hvs_fps)
+
+    # RDC: radio transmission reliability ------------------------------
+    msg_bps = rates * rows.ul_bits
+    radio_ok = (1.0 - ul_retx) * (1.0 - dl_retx)
+    safe_msg = np.where(msg_bps > 0, msg_bps, 1.0)
+    ul_carried = np.where(msg_bps > 0,
+                          np.minimum(ul_cap / safe_msg, 1.0), 1.0)
+    dl_carried = np.where(msg_bps > 0,
+                          np.minimum(dl_cap / safe_msg, 1.0), 1.0)
+    reliability = radio_ok * ul_carried * dl_carried
+
+    value = np.where(rows.app == APP_CODES["mar"], mar_latency, value)
+    value = np.where(rows.app == APP_CODES["hvs"], hvs_fps, value)
+    value = np.where(rows.app == APP_CODES["rdc"], reliability, value)
+    satisfaction = _satisfaction_rows(rows, value)
+    return value, satisfaction

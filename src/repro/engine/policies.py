@@ -1,0 +1,319 @@
+"""Batched policies: stacked observations in, stacked actions out.
+
+The :class:`BatchPolicy` protocol is the engine-side counterpart of
+the per-slice ``act``/``act_vector`` interfaces: a policy maps an
+``(R, STATE_DIM)`` observation matrix (plus per-row slice metadata) to
+an ``(R, NUM_ACTIONS)`` action matrix in one shot.  The paper's
+comparison policies vectorise directly:
+
+* the rule-based Baseline is a per-traffic-bin table -- one
+  ``searchsorted`` over the traffic column plus a row gather;
+* Model_Based's programs have closed forms (the SLSQP solve of the
+  scalar path just recovers them), evaluated here as array math;
+* OnRL / the actor-critic run one ``MLP.predict_batch`` forward pass.
+
+:func:`project_actions_batch` applies the paper's projection
+(Sec. 4) per world across a whole batch, and :class:`VecOnRLAgent`
+runs one OnRL learner over B parallel worlds with per-world rollout
+buffers (the standard vectorised-env pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.config import NUM_ACTIONS, action_index
+from repro.rl.buffer import RolloutBuffer, Transition
+from repro.sim.network import CONSTRAINED_RESOURCES
+
+#: Constrained action columns in CONSTRAINED_RESOURCES order.
+_KIND_COLUMNS = np.fromiter(CONSTRAINED_RESOURCES.values(),
+                            dtype=np.intp)
+
+
+class BatchPolicy(Protocol):
+    """Maps stacked observations to stacked actions.
+
+    ``slice_names`` gives the per-row slice identity (same length as
+    ``states``); implementations that are slice-agnostic may ignore
+    it.
+    """
+
+    def act_batch(self, states: np.ndarray,
+                  slice_names: Sequence[str]) -> np.ndarray:
+        ...
+
+
+class ConstantBatchPolicy:
+    """Every slice plays one fixed allocation (background/bench load)."""
+
+    def __init__(self, action: np.ndarray) -> None:
+        action = np.asarray(action, dtype=float)
+        if action.shape != (NUM_ACTIONS,):
+            raise ValueError(f"action must have {NUM_ACTIONS} dims")
+        self.action = action
+
+    def act_batch(self, states: np.ndarray,
+                  slice_names: Sequence[str]) -> np.ndarray:
+        return np.broadcast_to(self.action,
+                               (len(states), NUM_ACTIONS)).copy()
+
+
+class RuleBasedBatchPolicy:
+    """Vectorised pi_b: per-traffic-bin table lookups for all rows.
+
+    ``policies`` maps slice names to fitted
+    :class:`~repro.baselines.rule_based.RuleBasedPolicy` tables;
+    unmatched names fall back to any policy of the same leading app
+    prefix, else the first table (mirroring how population scenarios
+    cycle the three fitted apps).
+    """
+
+    def __init__(self, policies: Mapping[str, object]) -> None:
+        if not policies:
+            raise ValueError("need at least one fitted policy")
+        self.policies = dict(policies)
+        self._by_app: Dict[str, object] = {}
+        for policy in self.policies.values():
+            self._by_app.setdefault(policy.app, policy)
+        self._fallback = next(iter(self.policies.values()))
+        #: id(policy) -> stacked (bins, NUM_ACTIONS) action table.
+        self._tables = {id(policy): np.stack(policy.actions)
+                        for policy in self.policies.values()}
+
+    def _resolve(self, name: str):
+        policy = self.policies.get(name)
+        if policy is not None:
+            return policy
+        app = name[:3].lower()
+        return self._by_app.get(app, self._fallback)
+
+    def act_batch(self, states: np.ndarray,
+                  slice_names: Sequence[str]) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        actions = np.empty((len(states), NUM_ACTIONS))
+        traffic = np.maximum(states[:, 1], 0.0)
+        groups: Dict[int, List[int]] = {}
+        resolved = [self._resolve(name) for name in slice_names]
+        for row, policy in enumerate(resolved):
+            groups.setdefault(id(policy), []).append(row)
+        for rows in groups.values():
+            policy = resolved[rows[0]]
+            idx = np.searchsorted(policy.bin_edges, traffic[rows],
+                                  side="left")
+            idx = np.minimum(idx, len(policy.actions) - 1)
+            actions[rows] = self._tables[id(policy)][idx]
+        return actions
+
+
+class ModelBasedBatchPolicy:
+    """Vectorised Model_Based: the papers' closed-form programs.
+
+    The scalar :class:`~repro.baselines.model_based.ModelBasedPolicy`
+    runs a one-variable SLSQP per MAR request whose optimum has the
+    closed form ``U_u = f*s / (R * (P - l_s))``; this policy evaluates
+    the closed forms directly for every row, so a 50-slice cell costs
+    one pass of array math instead of 50 solver invocations.  Within
+    solver tolerance it matches the scalar method; it is a distinct
+    (faster, tighter) implementation, not a bit-exact replay.
+    """
+
+    def __init__(self, policies: Mapping[str, object]) -> None:
+        if not policies:
+            raise ValueError("need at least one analytic policy")
+        self.policies = dict(policies)
+        sample = next(iter(self.policies.values()))
+        self._by_app = {}
+        for policy in self.policies.values():
+            self._by_app.setdefault(policy.spec.app, policy)
+        self._fallback = sample
+
+    def _resolve(self, name: str):
+        policy = self.policies.get(name)
+        if policy is not None:
+            return policy
+        return self._by_app.get(name[:3].lower(), self._fallback)
+
+    def act_batch(self, states: np.ndarray,
+                  slice_names: Sequence[str]) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        actions = np.empty((len(states), NUM_ACTIONS))
+        for row, name in enumerate(slice_names):
+            policy = self._resolve(name)
+            cfg = policy.cfg
+            spec = policy.spec
+            rate = states[row, 1] * spec.max_arrival_rate
+            f = rate * cfg.provisioning_margin
+            if spec.app == "mar":
+                from repro.baselines.model_based import \
+                    _mb_default_action
+
+                action = _mb_default_action("mar")
+                budget = spec.sla.target - cfg.static_latency_ms
+                u_u = (f * spec.uplink_payload_bits * 1e3
+                       / (policy._nominal_ul_bps * budget))
+                action[action_index("uplink_bandwidth")] = float(
+                    np.clip(u_u, 0.02, 1.0))
+                action[action_index("transport_bandwidth")] = float(
+                    np.clip(f * spec.uplink_payload_bits
+                            / policy._link_bps
+                            * cfg.provisioning_margin, 0.01, 1.0))
+            elif spec.app == "hvs":
+                from repro.baselines.model_based import \
+                    _mb_default_action
+
+                action = _mb_default_action("hvs")
+                demand = (f * spec.sla.target
+                          * spec.downlink_payload_bits)
+                action[action_index("downlink_bandwidth")] = float(
+                    np.clip(demand / policy._nominal_dl_bps,
+                            0.05, 1.0))
+                action[action_index("transport_bandwidth")] = float(
+                    np.clip(demand / policy._link_bps
+                            * cfg.provisioning_margin, 0.01, 1.0))
+            else:
+                action = policy._solve_rdc(rate)
+            actions[row] = action
+        return actions
+
+
+class ActorCriticBatchPolicy:
+    """Deterministic pi_theta over a stacked batch (one forward)."""
+
+    def __init__(self, models: Mapping[str, object]) -> None:
+        if not models:
+            raise ValueError("need at least one model")
+        self.models = dict(models)
+        self._fallback = next(iter(self.models.values()))
+
+    def act_batch(self, states: np.ndarray,
+                  slice_names: Sequence[str]) -> np.ndarray:
+        states = np.asarray(states, dtype=float)
+        actions = np.empty((len(states), NUM_ACTIONS))
+        groups: Dict[str, List[int]] = {}
+        for row, name in enumerate(slice_names):
+            key = name if name in self.models else "*"
+            groups.setdefault(key, []).append(row)
+        for key, rows in groups.items():
+            model = self.models.get(key, self._fallback)
+            actions[rows] = model.mean_actions(states[rows])
+        return actions
+
+
+def project_actions_batch(actions: np.ndarray,
+                          offsets: np.ndarray,
+                          capacity: float = 1.0) -> np.ndarray:
+    """Per-world proportional projection over a stacked action matrix.
+
+    ``offsets[i]:offsets[i+1]`` delimit world ``i``'s rows; for every
+    constrained resource kind whose within-world total exceeds
+    ``capacity``, that world's entries scale by ``capacity / total``
+    (the paper's projection, Sec. 4), all other dimensions untouched.
+    Returns a new matrix.
+    """
+    projected = np.asarray(actions, dtype=float).copy()
+    requested = projected[:, _KIND_COLUMNS]
+    world_of = np.repeat(np.arange(len(offsets) - 1),
+                         np.diff(offsets))
+    totals = np.zeros((len(offsets) - 1, len(_KIND_COLUMNS)))
+    np.add.at(totals, world_of, requested)
+    over = totals > capacity
+    scale = np.where(over & (totals > 0),
+                     capacity / np.where(totals > 0, totals, 1.0),
+                     1.0)
+    projected[:, _KIND_COLUMNS] = requested * scale[world_of]
+    return projected
+
+
+class VecOnRLAgent:
+    """One OnRL learner driving B parallel worlds.
+
+    Wraps a scalar :class:`~repro.baselines.onrl.OnRLAgent`: the
+    actor/critic forwards run batched over the worlds
+    (``MLP.predict_batch``), while each world keeps its own
+    :class:`~repro.rl.buffer.RolloutBuffer` so GAE stays per-episode
+    correct.  PPO updates trigger at episode boundaries once the
+    worlds' combined finalised transitions reach the scalar agent's
+    update threshold.
+    """
+
+    def __init__(self, agent, num_envs: int) -> None:
+        if num_envs < 1:
+            raise ValueError("num_envs must be >= 1")
+        self.agent = agent
+        self.num_envs = num_envs
+        ppo = agent.cfg.ppo
+        self.buffers = [RolloutBuffer(gamma=ppo.gamma,
+                                      gae_lambda=ppo.gae_lambda)
+                        for _ in range(num_envs)]
+        self._pending: Optional[Dict[str, np.ndarray]] = None
+        self.updates_run = 0
+
+    def act_many(self, states: np.ndarray,
+                 deterministic: bool = False) -> np.ndarray:
+        """Batched act across worlds; stages transitions for
+        :meth:`observe_many`."""
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2 or states.shape[0] != self.num_envs:
+            raise ValueError(
+                f"need one state row per world: expected "
+                f"({self.num_envs}, state_dim), got {states.shape}")
+        model = self.agent.model
+        means = model.actor.predict_batch(states)
+        if deterministic:
+            actions = np.clip(means, 0.0, 1.0)
+        else:
+            actions = model.dist.sample(means, model._rng)
+        log_probs = model.dist.log_prob(means, actions)
+        values = model.critic.predict_batch(states)[:, 0]
+        self._pending = {"states": states, "actions": actions,
+                         "log_probs": log_probs, "values": values}
+        return actions
+
+    def discard_pending(self) -> None:
+        self._pending = None
+
+    def observe_many(self, rewards: np.ndarray,
+                     costs: np.ndarray) -> None:
+        """Record every world's outcome (reward shaping included)."""
+        if self._pending is None:
+            raise RuntimeError("observe_many() called before act_many()")
+        pending = self._pending
+        self._pending = None
+        shaped = (np.asarray(rewards, dtype=float)
+                  - self.agent.cfg.penalty_weight
+                  * np.asarray(costs, dtype=float))
+        for b, buffer in enumerate(self.buffers):
+            buffer.add(Transition(
+                state=pending["states"][b],
+                action=pending["actions"][b],
+                reward=float(shaped[b]), cost=float(costs[b]),
+                value=float(pending["values"][b]),
+                log_prob=float(pending["log_probs"][b])))
+
+    def end_episodes(self) -> None:
+        for buffer in self.buffers:
+            buffer.end_episode(bootstrap_value=0.0)
+
+    def maybe_update(self) -> Optional[Dict[str, float]]:
+        """One PPO update over the merged worlds, when enough data."""
+        total = sum(len(buffer) for buffer in self.buffers)
+        if total < self.agent.cfg.update_threshold:
+            return None
+        batches = [buffer.get(normalize_advantages=False)
+                   for buffer in self.buffers if len(buffer)]
+        merged = {key: np.concatenate([batch[key]
+                                       for batch in batches])
+                  for key in batches[0]}
+        advantages = merged["advantages"]
+        if len(advantages) > 1:
+            merged["advantages"] = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8)
+        stats = self.agent.trainer.update(merged)
+        for buffer in self.buffers:
+            buffer.clear()
+        self.updates_run += 1
+        self.agent.updates_run += 1
+        return stats

@@ -30,7 +30,7 @@ from repro.baselines.rule_based import (
     RuleBasedPolicy,
     fit_rule_based_policy,
 )
-from repro.config import ExperimentConfig, SwitchingConfig
+from repro.config import ExperimentConfig, NUM_ACTIONS, SwitchingConfig
 from repro.core.agent import OnSlicingAgent
 from repro.core.offline import (
     OfflineDataset,
@@ -73,6 +73,128 @@ def make_simulator(cfg: ExperimentConfig,
     if spec is None:
         return ScenarioSimulator(cfg)
     return spec.build_simulator(cfg)
+
+
+def make_simulators(cfg: ExperimentConfig, scenario=None,
+                    count: int = 1) -> List[ScenarioSimulator]:
+    """``count`` independent worlds of one scenario/config.
+
+    World seeds derive from ``cfg.seed`` through
+    :class:`numpy.random.SeedSequence` spawns (documented-stable), so
+    world ``i`` sees the same traffic regardless of the batch size it
+    runs in.  World 0 keeps the plain ``default_rng(cfg.seed)`` stream
+    so a 1-world batch is the scalar simulator, bit for bit.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    spec = resolve_scenario(scenario)
+    sims: List[ScenarioSimulator] = []
+    seeds = np.random.SeedSequence(cfg.seed).spawn(count)
+    for index in range(count):
+        rng = (np.random.default_rng(cfg.seed) if index == 0
+               else np.random.default_rng(seeds[index]))
+        if spec is None:
+            sims.append(ScenarioSimulator(cfg, rng=rng))
+        else:
+            sims.append(spec.build_simulator(cfg, rng=rng))
+    return sims
+
+
+def run_episodes(simulators: List[ScenarioSimulator], policy,
+                 episodes: int = 1, engine: str = "vector",
+                 project: bool = True
+                 ) -> List[List[Dict[str, Dict[str, float]]]]:
+    """Run every world for ``episodes`` episodes under one policy.
+
+    The workhorse of batched evaluation: ``policy`` is a
+    :class:`~repro.engine.policies.BatchPolicy` (stacked observations
+    in, stacked actions out); with ``engine="vector"`` all worlds
+    advance in lockstep through one
+    :class:`~repro.engine.batch.BatchSimulator`, with
+    ``engine="scalar"`` each world runs the classic per-slot loop.
+    Both engines traverse the same kernels, so their results are
+    bit-identical -- the parity suite asserts it.
+
+    Returns ``result[world][episode][slice] == {"cost": total,
+    "usage": total}`` (sum over the episode's slots).
+    """
+    from repro.engine.batch import BatchSimulator
+    from repro.engine.policies import project_actions_batch
+
+    if engine not in ("scalar", "vector"):
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "expected 'scalar' or 'vector'")
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+
+    if engine == "scalar":
+        results = []
+        for sim in simulators:
+            world_episodes = []
+            for _ in range(episodes):
+                observations = sim.reset()
+                names = sim.slice_names
+                totals = {n: {"cost": 0.0, "usage": 0.0}
+                          for n in names}
+                states = np.stack([observations[n].vector()
+                                   for n in names])
+                while not sim.done:
+                    matrix = np.asarray(
+                        policy.act_batch(states, names), dtype=float)
+                    if project:
+                        matrix = project_actions_batch(
+                            matrix, np.array([0, len(names)]))
+                    step = sim.step(
+                        {n: matrix[i] for i, n in enumerate(names)})
+                    for i, n in enumerate(names):
+                        totals[n]["cost"] += step[n].cost
+                        totals[n]["usage"] += step[n].usage
+                        step[n].observation.vector(out=states[i])
+                world_episodes.append(totals)
+            results.append(world_episodes)
+        return results
+
+    batch = BatchSimulator(simulators)
+    results = [[] for _ in simulators]
+    remaining = [episodes] * len(simulators)
+    totals: List[Optional[Dict]] = [None] * len(simulators)
+    states = [None] * len(simulators)
+    for b in range(len(simulators)):
+        states[b] = batch.reset_world(b)
+        remaining[b] -= 1
+        totals[b] = {n: {"cost": 0.0, "usage": 0.0}
+                     for n in batch.slice_names(b)}
+    active = set(range(len(simulators)))
+    while active:
+        worlds = sorted(active)
+        stacked = np.concatenate([states[b] for b in worlds])
+        names = [n for b in worlds for n in batch.slice_names(b)]
+        matrix = np.asarray(policy.act_batch(stacked, names),
+                            dtype=float)
+        offsets = np.concatenate(
+            [[0], np.cumsum([len(states[b]) for b in worlds])])
+        if project:
+            matrix = project_actions_batch(matrix, offsets)
+        actions: List[Optional[np.ndarray]] = [None] * len(simulators)
+        for i, b in enumerate(worlds):
+            actions[b] = matrix[offsets[i]:offsets[i + 1]]
+        step = batch.step(actions)
+        for i, b in enumerate(worlds):
+            rows = step.rows_of(b)
+            for j, n in enumerate(step.names[i]):
+                totals[b][n]["cost"] += float(step.costs[rows][j])
+                totals[b][n]["usage"] += float(step.usages[rows][j])
+            states[b] = step.observations[rows]
+            if step.dones[i]:
+                results[b].append(totals[b])
+                if remaining[b] > 0:
+                    states[b] = batch.reset_world(b)
+                    remaining[b] -= 1
+                    totals[b] = {n: {"cost": 0.0, "usage": 0.0}
+                                 for n in batch.slice_names(b)}
+                else:
+                    active.discard(b)
+    return results
 
 
 def fit_baselines(cfg: ExperimentConfig,
@@ -355,37 +477,129 @@ def run_onrl_episode(simulator: ScenarioSimulator,
     return totals
 
 
+def run_onrl_episode_batch(batch, vec_agents: Dict[str, object],
+                           learn: bool = True,
+                           deterministic: bool = False
+                           ) -> List[Dict[str, Dict[str, float]]]:
+    """One lockstep episode of every world under shared OnRL agents.
+
+    ``batch`` is a :class:`~repro.engine.batch.BatchSimulator` whose
+    worlds all share one slice population; ``vec_agents`` maps slice
+    names to :class:`~repro.engine.policies.VecOnRLAgent` wrappers.
+    Each slot runs one batched forward per agent over the worlds and
+    one kernel evaluation over every (world, slice) row -- the
+    vectorised-env analogue of :func:`run_onrl_episode`.  Returns
+    per-world episode totals.
+    """
+    from repro.engine.policies import project_actions_batch
+
+    num_envs = batch.num_worlds
+    names = batch.slice_names(0)
+    s = len(names)
+    obs = batch.reset()
+    totals = [{n: {"cost": 0.0, "usage": 0.0} for n in names}
+              for _ in range(num_envs)]
+    offsets = np.arange(num_envs + 1) * s
+    while not all(batch.dones):
+        matrix = np.empty((num_envs * s, NUM_ACTIONS))
+        for j, name in enumerate(names):
+            actions = vec_agents[name].act_many(
+                obs[j::s], deterministic=deterministic)
+            matrix[j::s] = actions
+        if not learn:
+            for agent in vec_agents.values():
+                agent.discard_pending()
+        matrix = project_actions_batch(matrix, offsets)
+        step = batch.step([matrix[offsets[b]:offsets[b + 1]]
+                           for b in range(num_envs)])
+        obs = step.observations
+        for j, name in enumerate(names):
+            if learn:
+                vec_agents[name].observe_many(step.rewards[j::s],
+                                              step.costs[j::s])
+            for b in range(num_envs):
+                totals[b][name]["cost"] += float(step.costs[b * s + j])
+                totals[b][name]["usage"] += float(
+                    step.usages[b * s + j])
+        if learn:
+            for agent in vec_agents.values():
+                agent.maybe_update()
+    return totals
+
+
 def train_onrl(cfg: ExperimentConfig, epochs: int = 12,
                episodes_per_epoch: int = 3, seed: int = 17,
                onrl_cfg: Optional[OnRLConfig] = None,
-               scenario=None) -> Dict[str, object]:
+               scenario=None, envs: int = 1) -> Dict[str, object]:
     """The OnRL online phase, returning the trained agents.
 
     The "train once" half of the snapshot path: the policy store
     snapshots the returned agents and later runs (robustness sweeps,
     the decision service) evaluate from the snapshot instead of
     retraining.  Returns ``{"agents", "simulator", "trajectory"}``.
+
+    ``envs > 1`` trains through the batched engine: ``envs`` worlds
+    (seeded from ``cfg.seed`` spawns) advance in lockstep, each agent
+    takes one batched forward per slot, and every lockstep episode
+    contributes ``envs`` episodes of experience -- same agents out,
+    more experience per wall-clock second.  PPO updates then trigger
+    at episode boundaries (per-world GAE stays exact), so the learning
+    trajectory is not slot-for-slot identical to ``envs=1``; the
+    default keeps the historical single-world path and its cache keys.
     """
-    simulator = make_simulator(cfg, scenario)
+    if envs < 1:
+        raise ValueError("envs must be >= 1")
     agents = make_onrl_agents(cfg, seed=seed, onrl_cfg=onrl_cfg)
     trajectory: List[TrajectoryPoint] = []
+    if envs == 1:
+        simulator = make_simulator(cfg, scenario)
+        for epoch in range(epochs):
+            usages, violations = [], []
+            for _ in range(episodes_per_epoch):
+                totals = run_onrl_episode(simulator, agents, learn=True)
+                for agent in agents.values():
+                    agent.end_episode()
+                horizon = simulator.horizon
+                for spec in cfg.slices:
+                    usages.append(totals[spec.name]["usage"] / horizon)
+                    violations.append(float(
+                        totals[spec.name]["cost"] / horizon
+                        > spec.sla.cost_threshold))
+            trajectory.append(TrajectoryPoint(
+                epoch=epoch, mean_usage=float(np.mean(usages)),
+                mean_cost=0.0,
+                violation_rate=float(np.mean(violations))))
+        return {"agents": agents, "simulator": simulator,
+                "trajectory": trajectory}
+
+    from repro.engine.batch import BatchSimulator
+    from repro.engine.policies import VecOnRLAgent
+
+    simulators = make_simulators(cfg, scenario, count=envs)
+    batch = BatchSimulator(simulators)
+    vec_agents = {name: VecOnRLAgent(agent, envs)
+                  for name, agent in agents.items()}
+    horizon = simulators[0].horizon
     for epoch in range(epochs):
         usages, violations = [], []
         for _ in range(episodes_per_epoch):
-            totals = run_onrl_episode(simulator, agents, learn=True)
-            for agent in agents.values():
-                agent.end_episode()
-            horizon = simulator.horizon
-            for spec in cfg.slices:
-                usages.append(totals[spec.name]["usage"] / horizon)
-                violations.append(float(
-                    totals[spec.name]["cost"] / horizon
-                    > spec.sla.cost_threshold))
+            totals = run_onrl_episode_batch(batch, vec_agents,
+                                            learn=True)
+            for agent in vec_agents.values():
+                agent.end_episodes()
+                agent.maybe_update()
+            for world_totals in totals:
+                for spec in cfg.slices:
+                    usages.append(
+                        world_totals[spec.name]["usage"] / horizon)
+                    violations.append(float(
+                        world_totals[spec.name]["cost"] / horizon
+                        > spec.sla.cost_threshold))
         trajectory.append(TrajectoryPoint(
             epoch=epoch, mean_usage=float(np.mean(usages)),
             mean_cost=0.0,
             violation_rate=float(np.mean(violations))))
-    return {"agents": agents, "simulator": simulator,
+    return {"agents": agents, "simulator": simulators[0],
             "trajectory": trajectory}
 
 

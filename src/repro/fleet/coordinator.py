@@ -41,7 +41,8 @@ Progress = Optional[Callable[[str], None]]
 
 def plan_shards(spec: FleetSpec, shards: int, store_dir: str,
                 snapshot_ref: str, snapshot_digest: str,
-                scenarios: Optional[Dict] = None) -> List[ShardPlan]:
+                scenarios: Optional[Dict] = None,
+                engine: str = "vector") -> List[ShardPlan]:
     """Deal the fleet's cells over ``shards`` worker plans.
 
     Cells are dealt scenario group by scenario group so every shard
@@ -76,7 +77,8 @@ def plan_shards(spec: FleetSpec, shards: int, store_dir: str,
                   cells=tuple(sorted(cells, key=lambda c: c.cell)),
                   scenarios=scenarios, store_dir=store_dir,
                   snapshot_ref=snapshot_ref,
-                  snapshot_digest=snapshot_digest)
+                  snapshot_digest=snapshot_digest,
+                  engine=engine)
         for shard, cells in enumerate(assigned)
     ]
 
@@ -184,7 +186,8 @@ def run_fleet(spec: FleetSpec, store_dir: str,
               resume: bool = False,
               progress: Progress = None,
               scenarios: Optional[Dict] = None,
-              snapshot=None) -> FleetReport:
+              snapshot=None,
+              engine: str = "vector") -> FleetReport:
     """Run a fleet campaign end to end and return its report.
 
     Parameters
@@ -212,6 +215,13 @@ def run_fleet(spec: FleetSpec, store_dir: str,
         coordinator never decodes the same file twice.  It must still
         live in ``store_dir`` under its own ref -- worker shards load
         it from there.
+    engine:
+        "vector" (default) steps each shard's cells in one lockstep
+        :class:`~repro.engine.batch.BatchSimulator`; "scalar" keeps
+        the sequential per-cell loop.  Both engines share one kernel
+        code path, so reports (and their digests) are identical --
+        which is why the choice is deliberately absent from fleet
+        experiment-unit cache keys and checkpoint headers.
     """
     if spec.cells < shards:
         shards = spec.cells
@@ -280,7 +290,8 @@ def run_fleet(spec: FleetSpec, store_dir: str,
             progress(f"resuming: {len(done)}/{checkpoint.shards} "
                      "shard(s) already checkpointed")
     plans = plan_shards(spec, shards, store_dir, snapshot.ref,
-                        snapshot.digest, scenarios=scenarios)
+                        snapshot.digest, scenarios=scenarios,
+                        engine=engine)
     shards = len(plans)
     pending = [plan for plan in plans if plan.shard not in done]
     fh = None

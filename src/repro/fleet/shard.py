@@ -95,6 +95,59 @@ class ShardPlan:
     store_dir: str
     snapshot_ref: str
     snapshot_digest: str
+    #: "vector" steps every cell of the shard in one lockstep
+    #: :class:`~repro.engine.batch.BatchSimulator`; "scalar" runs the
+    #: classic sequential per-cell loop.  Cell results (decision
+    #: digests included) are identical either way -- the engines share
+    #: one kernel code path -- so the choice never enters cache keys.
+    engine: str = "vector"
+
+
+def _drive_cells_lockstep(generators, episodes: int) -> None:
+    """Advance every cell's episodes through one batched engine.
+
+    Each slot serves every active cell's decision batch through its
+    own :class:`~repro.serve.service.SlicingService` (per-cell
+    fallback state, coordination and digests untouched), then steps
+    all cells' simulators in one kernel evaluation.  Cells with
+    shorter horizons roll into their next episode independently.
+    """
+    from repro.engine.batch import BatchSimulator
+
+    batch = BatchSimulator([g.simulator for g in generators])
+    active = []
+    for index, generator in enumerate(generators):
+        generator.begin_run(episodes)
+        generator.begin_episode(observations=batch.reset_world(index))
+        active.append(index)
+    while active:
+        actions = [None] * len(generators)
+        for cell in active:
+            actions[cell] = generators[cell].serve_slot()
+        step = batch.step(actions)
+        still_active = []
+        for i, cell in enumerate(active):
+            rows = step.rows_of(cell)
+            names = step.names[i]
+            generators[cell].record_step(
+                {n: float(step.costs[rows][j])
+                 for j, n in enumerate(names)},
+                {n: float(step.usages[rows][j])
+                 for j, n in enumerate(names)},
+                {n: step.observations[rows][j]
+                 for j, n in enumerate(names)})
+            if step.dones[i] or generators[cell]._stopped:
+                # _stopped mirrors LoadGenerator.run's per-slot
+                # max_decisions check (the fleet never sets one, but
+                # the drive modes must stay interchangeable)
+                generators[cell].end_episode()
+                if generators[cell].want_more_episodes:
+                    generators[cell].begin_episode(
+                        observations=batch.reset_world(cell))
+                    still_active.append(cell)
+            else:
+                still_active.append(cell)
+        active = still_active
 
 
 def run_fleet_shard(plan: ShardPlan,
@@ -117,14 +170,28 @@ def run_fleet_shard(plan: ShardPlan,
             f"snapshot {plan.snapshot_ref!r} changed since the fleet "
             f"was planned (digest {snapshot.digest[:12]} != "
             f"{plan.snapshot_digest[:12]}); re-plan the fleet")
+    if plan.engine not in ("scalar", "vector"):
+        raise ValueError(f"unknown engine {plan.engine!r}; "
+                         "expected 'scalar' or 'vector'")
     aggregate = Telemetry()
-    rows = []
+    generators = []
+    telemetries = []
     for cell in plan.cells:
         scenario = plan.spec.cell_scenario(plan.scenarios[cell.scenario])
         telemetry = Telemetry()
-        generator = LoadGenerator(snapshot, scenario, seed=cell.seed,
-                                  telemetry=telemetry)
-        report = generator.run(episodes=plan.spec.episodes)
+        telemetries.append(telemetry)
+        generators.append(LoadGenerator(snapshot, scenario,
+                                        seed=cell.seed,
+                                        telemetry=telemetry))
+    if plan.engine == "vector" and len(generators) > 1:
+        _drive_cells_lockstep(generators, plan.spec.episodes)
+        reports = [generator.finish_run() for generator in generators]
+    else:
+        reports = [generator.run(episodes=plan.spec.episodes)
+                   for generator in generators]
+    rows = []
+    for cell, telemetry, report in zip(plan.cells, telemetries,
+                                       reports):
         aggregate.merge(telemetry)
         aggregate.counter("cells").inc()
         rows.append(CellStats(

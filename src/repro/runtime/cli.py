@@ -231,11 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list runnable artefacts")
 
-    scenarios = sub.add_parser("scenarios",
-                               help="list registered scenarios")
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list registered scenarios / bench the engines")
+    scenarios.add_argument("scenarios_command", nargs="?",
+                           choices=("list", "bench"), default="list",
+                           help="'list' (default) or 'bench': measure "
+                                "scalar vs vector engine slot "
+                                "throughput over the catalog")
     scenarios.add_argument("--json", action="store_true",
                            dest="as_json",
-                           help="machine-readable registry dump")
+                           help="machine-readable output")
+    scenarios.add_argument("--batch", type=int, default=8,
+                           help="bench: worlds per scenario batch "
+                                "(default: 8)")
+    scenarios.add_argument("--slots", type=int, default=24,
+                           help="bench: episode horizon in slots "
+                                "(default: 24)")
+    scenarios.add_argument("--scenario", default=None, metavar="NAME",
+                           help="bench: a single scenario (default: "
+                                "the whole catalog)")
 
     train = sub.add_parser(
         "train", help="train a method and snapshot the policy")
@@ -322,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--resume", action="store_true",
                            help="resume a killed run from "
                                 "--checkpoint (same spec and seed)")
+    fleet_run.add_argument("--engine", choices=("scalar", "vector"),
+                           default="vector",
+                           help="cell stepping engine: 'vector' "
+                                "(default) batch-steps each shard's "
+                                "cells in lockstep, 'scalar' runs "
+                                "them sequentially; results are "
+                                "identical either way")
     fleet_run.add_argument("--json", action="store_true",
                            dest="as_json")
     fleet_report = fleet_sub.add_parser(
@@ -488,6 +510,88 @@ def _run_serving(args, report_telemetry: bool) -> int:
     return 0
 
 
+def _scenarios_bench(args) -> int:
+    """``scenarios bench``: scalar vs vector engine slot throughput.
+
+    Builds a ``--batch``-world batch per catalog scenario (short
+    ``--slots`` horizon), drives both engines under a fixed allocation
+    policy, and prints world-slots/s, decisions/s and the speedup.
+    The two engines share one kernel path, so this measures batching
+    alone -- and doubles as a quick live parity check, since mismatched
+    totals abort the bench.
+    """
+    import dataclasses as _dc
+    import time
+
+    import numpy as np
+
+    from repro import scenarios as scenario_registry
+    from repro.config import NUM_ACTIONS, TrafficConfig
+    from repro.engine.policies import ConstantBatchPolicy
+    from repro.experiments.harness import make_simulators
+
+    if args.batch < 1 or args.slots < 2:
+        raise SystemExit("--batch must be >= 1 and --slots >= 2")
+    names = ([args.scenario] if args.scenario
+             else sorted(scenario_registry.names()))
+    unknown = [n for n in names if n not in scenario_registry.names()]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s): {', '.join(unknown)} "
+                         f"(try 'python -m repro scenarios')")
+    policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.25))
+    rows = []
+    for name in names:
+        spec = scenario_registry.get(name)
+        traffic = (spec.traffic_cfg if spec.traffic_cfg is not None
+                   else TrafficConfig())
+        spec = _dc.replace(spec, traffic_cfg=_dc.replace(
+            traffic, slots_per_episode=args.slots))
+        cfg = spec.build_config()
+
+        def timed(engine):
+            from repro.experiments.harness import run_episodes
+
+            sims = make_simulators(cfg, spec, count=args.batch)
+            start = time.perf_counter()
+            totals = run_episodes(sims, policy, episodes=1,
+                                  engine=engine)
+            return time.perf_counter() - start, totals
+
+        scalar_s, scalar_totals = timed("scalar")
+        vector_s, vector_totals = timed("vector")
+        if scalar_totals != vector_totals:
+            raise SystemExit(
+                f"engine parity violation on scenario {name!r}: "
+                "scalar and vector totals differ -- this is a bug, "
+                "please report it")
+        world_slots = args.batch * args.slots
+        decisions = sum(len(episode[0]) for episode in scalar_totals) \
+            * args.slots
+        rows.append({
+            "scenario": name,
+            "worlds": args.batch,
+            "slots": args.slots,
+            "scalar_world_slots_per_s": world_slots / scalar_s,
+            "vector_world_slots_per_s": world_slots / vector_s,
+            "vector_decisions_per_s": decisions / vector_s,
+            "speedup": scalar_s / vector_s,
+        })
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(f"{'scenario':<18} {'worlds':>6} {'scalar w-slots/s':>17} "
+          f"{'vector w-slots/s':>17} {'speedup':>8}")
+    for row in rows:
+        print(f"{row['scenario']:<18} {row['worlds']:>6} "
+              f"{row['scalar_world_slots_per_s']:>17,.0f} "
+              f"{row['vector_world_slots_per_s']:>17,.0f} "
+              f"{row['speedup']:>7.1f}x")
+    mean = sum(row["speedup"] for row in rows) / len(rows)
+    print(f"{len(rows)} scenario(s), mean speedup {mean:.1f}x "
+          f"at B={args.batch} (identical results on both engines)")
+    return 0
+
+
 def _fleet_json(report, complete: bool = True) -> str:
     """Machine-readable fleet report payload."""
     return json.dumps({
@@ -565,7 +669,7 @@ def _run_fleet(args) -> int:
             shards=shards, checkpoint_path=args.checkpoint,
             resume=args.resume,
             progress=lambda line: print(line, file=sys.stderr),
-            snapshot=snapshot)
+            snapshot=snapshot, engine=args.engine)
     except ValueError as exc:
         raise SystemExit(str(exc))
     except OSError as exc:
@@ -588,6 +692,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "scenarios":
+        if args.scenarios_command == "bench":
+            return _scenarios_bench(args)
         from repro import scenarios as scenario_registry
 
         rows = []

@@ -14,6 +14,16 @@ not simulator time -- the simulator is the client here.  Reports carry
 a ``decision_digest`` (SHA-256 over every action served, in order) so
 two runs from the same snapshot and seed can be byte-compared: the CI
 smoke job replays 100 decisions twice and asserts the digests match.
+
+``run()`` is built from an incremental API (``begin_run`` /
+``begin_episode`` / ``serve_slot`` / ``record_step`` /
+``end_episode`` / ``finish_run``) so the fleet layer's vector engine
+can drive many generators in lockstep through one
+:class:`~repro.engine.batch.BatchSimulator` while each cell keeps its
+own service, accounting and digest -- the two drive modes produce
+identical reports.  Per-slice observation buffers are reused across
+slots (the service copies states before inference), so steady-state
+serving allocates nothing per decision.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from repro.scenarios.spec import ScenarioSpec, population
 from repro.serve.policy_store import PolicySnapshot
 from repro.serve.service import DecisionRequest, SlicingService
 from repro.serve.telemetry import Telemetry
+from repro.sim.env import STATE_DIM
 
 
 @dataclass(frozen=True)
@@ -102,92 +113,160 @@ class LoadGenerator:
         self.simulator = self.spec.build_simulator(
             self.cfg, rng=np.random.default_rng(self.cfg.seed))
 
-    def run(self, episodes: int = 1,
-            max_decisions: Optional[int] = None) -> LoadReport:
-        """Serve ``episodes`` full episodes (or stop after
-        ``max_decisions`` decisions, mid-episode if need be)."""
+    # ---- incremental driving API ------------------------------------
+    #
+    # `run()` composes these; the fleet layer's vector engine drives
+    # many generators in lockstep through one BatchSimulator, calling
+    # the same methods per cell so the two paths produce identical
+    # reports (decision digests included).
+
+    def begin_run(self, episodes: int = 1,
+                  max_decisions: Optional[int] = None) -> None:
+        """Arm the accounting of a new run."""
         if episodes < 1:
             raise ValueError("episodes must be >= 1")
-        simulator = self.simulator
-        service = self.service
-        digest = hashlib.sha256()
-        decisions_served = 0
-        fallbacks = 0
-        service_time = 0.0
-        episodes_run = 0
-        per_slice_usage: Dict[str, List[float]] = {}
-        per_slice_violation: Dict[str, List[float]] = {}
-        wall_start = time.perf_counter()
-        stop = False
-        for _ in range(episodes):
-            if stop:
-                break
-            observations = simulator.reset()
-            service.begin_episode()   # re-arm the one-way fallback
-            totals = {name: {"cost": 0.0, "usage": 0.0, "slots": 0}
-                      for name in simulator.slice_names}
-            while not simulator.done and not stop:
-                requests = [
-                    DecisionRequest(slice_name=name,
-                                    state=observations[name].vector())
-                    for name in simulator.slice_names
-                ]
-                t0 = time.perf_counter()
-                decisions = service.decide(requests)
-                service_time += time.perf_counter() - t0
-                for name in sorted(decisions):
-                    decision = decisions[name]
-                    digest.update(name.encode("utf-8"))
-                    digest.update(np.ascontiguousarray(
-                        decision.action, dtype=np.float64).tobytes())
-                    fallbacks += decision.fallback
-                decisions_served += len(decisions)
-                results = simulator.step(
-                    {name: decision.action
-                     for name, decision in decisions.items()})
-                for name, result in results.items():
-                    totals[name]["cost"] += result.cost
-                    totals[name]["usage"] += result.usage
-                    totals[name]["slots"] += 1
-                    observations[name] = result.observation
-                if (max_decisions is not None
-                        and decisions_served >= max_decisions):
-                    stop = True
-            episodes_run += 1
-            for spec in self.cfg.slices:
-                slots = totals[spec.name]["slots"]
-                if slots == 0:
-                    continue
-                mean_cost = totals[spec.name]["cost"] / slots
-                mean_usage = totals[spec.name]["usage"] / slots
-                per_slice_usage.setdefault(spec.name, []).append(
-                    mean_usage)
-                per_slice_violation.setdefault(spec.name, []).append(
-                    float(mean_cost > spec.sla.cost_threshold))
-        wall_time = time.perf_counter() - wall_start
+        self._episodes_wanted = episodes
+        self._max_decisions = max_decisions
+        self._digest = hashlib.sha256()
+        self._decisions_served = 0
+        self._fallbacks = 0
+        self._service_time = 0.0
+        self._episodes_run = 0
+        self._per_slice_usage: Dict[str, List[float]] = {}
+        self._per_slice_violation: Dict[str, List[float]] = {}
+        self._wall_start = time.perf_counter()
+        self._stopped = False
+        self._totals: Dict[str, Dict[str, float]] = {}
+        # per-slice observation buffers, reused across slots (the
+        # service stacks/copies states before inference, so reuse is
+        # safe within and across slots)
+        self._states: Dict[str, np.ndarray] = {}
+
+    @property
+    def want_more_episodes(self) -> bool:
+        return (not self._stopped
+                and self._episodes_run < self._episodes_wanted)
+
+    def begin_episode(self, observations=None) -> None:
+        """Start one episode; ``observations`` skips the internal
+        reset when the caller (the batched driver) already reset the
+        simulator and holds the initial observation rows."""
+        if observations is None:
+            observations = self.simulator.reset()
+        self.service.begin_episode()   # re-arm the one-way fallback
+        names = self.simulator.slice_names
+        self._totals = {name: {"cost": 0.0, "usage": 0.0, "slots": 0}
+                        for name in names}
+        for i, name in enumerate(names):
+            buffer = self._states.get(name)
+            if buffer is None:
+                buffer = np.empty(STATE_DIM)
+                self._states[name] = buffer
+            if isinstance(observations, np.ndarray):
+                buffer[:] = observations[i]
+            else:
+                observations[name].vector(out=buffer)
+
+    def serve_slot(self) -> Dict[str, np.ndarray]:
+        """One decision batch: requests from the held observations,
+        through the service, into the run digest.  Returns the
+        actions to apply to the simulator."""
+        names = self.simulator.slice_names
+        requests = [
+            DecisionRequest(slice_name=name, state=self._states[name])
+            for name in names
+        ]
+        t0 = time.perf_counter()
+        decisions = self.service.decide(requests)
+        self._service_time += time.perf_counter() - t0
+        for name in sorted(decisions):
+            decision = decisions[name]
+            self._digest.update(name.encode("utf-8"))
+            self._digest.update(np.ascontiguousarray(
+                decision.action, dtype=np.float64).tobytes())
+            self._fallbacks += decision.fallback
+        self._decisions_served += len(decisions)
+        if (self._max_decisions is not None
+                and self._decisions_served >= self._max_decisions):
+            self._stopped = True
+        return {name: decision.action
+                for name, decision in decisions.items()}
+
+    def record_step(self, costs: Dict[str, float],
+                    usages: Dict[str, float],
+                    observations: Dict[str, np.ndarray]) -> None:
+        """Fold one slot's outcome into the episode totals and update
+        the held observation buffers."""
+        for name, cost in costs.items():
+            totals = self._totals[name]
+            totals["cost"] += cost
+            totals["usage"] += usages[name]
+            totals["slots"] += 1
+            self._states[name][:] = observations[name]
+
+    def end_episode(self) -> None:
+        """Close one episode's per-slice SLA accounting."""
+        self._episodes_run += 1
+        for spec in self.cfg.slices:
+            slots = self._totals[spec.name]["slots"]
+            if slots == 0:
+                continue
+            mean_cost = self._totals[spec.name]["cost"] / slots
+            mean_usage = self._totals[spec.name]["usage"] / slots
+            self._per_slice_usage.setdefault(spec.name, []).append(
+                mean_usage)
+            self._per_slice_violation.setdefault(
+                spec.name, []).append(
+                float(mean_cost > spec.sla.cost_threshold))
+
+    def finish_run(self) -> LoadReport:
+        """Assemble the :class:`LoadReport` of the driven run."""
+        wall_time = time.perf_counter() - self._wall_start
         usage = {name: float(np.mean(vals))
-                 for name, vals in per_slice_usage.items()}
+                 for name, vals in self._per_slice_usage.items()}
         violation = {name: float(np.mean(vals))
-                     for name, vals in per_slice_violation.items()}
+                     for name, vals in self._per_slice_violation.items()}
         latency = self.telemetry.histogram("decision_latency_ms")
+        decisions_served = self._decisions_served
         return LoadReport(
             scenario=self.spec.name,
             slices=len(self.cfg.slices),
-            episodes=episodes_run,
+            episodes=self._episodes_run,
             decisions=decisions_served,
-            fallbacks=int(fallbacks),
-            service_time_s=service_time,
+            fallbacks=int(self._fallbacks),
+            service_time_s=self._service_time,
             wall_time_s=wall_time,
-            decisions_per_sec=(decisions_served / service_time
-                               if service_time > 0 else 0.0),
+            decisions_per_sec=(decisions_served / self._service_time
+                               if self._service_time > 0 else 0.0),
             p50_latency_ms=latency.percentile(50.0),
             p99_latency_ms=latency.percentile(99.0),
             mean_usage=(float(np.mean(list(usage.values())))
                         if usage else 0.0),
             violation_rate=(float(np.mean(list(violation.values())))
                             if violation else 0.0),
-            fallback_rate=(fallbacks / decisions_served
+            fallback_rate=(self._fallbacks / decisions_served
                            if decisions_served else 0.0),
-            decision_digest=digest.hexdigest(),
+            decision_digest=self._digest.hexdigest(),
             per_slice_usage=usage,
             per_slice_violation=violation)
+
+    def run(self, episodes: int = 1,
+            max_decisions: Optional[int] = None) -> LoadReport:
+        """Serve ``episodes`` full episodes (or stop after
+        ``max_decisions`` decisions, mid-episode if need be)."""
+        self.begin_run(episodes, max_decisions)
+        simulator = self.simulator
+        while self.want_more_episodes:
+            self.begin_episode()
+            while not simulator.done and not self._stopped:
+                actions = self.serve_slot()
+                results = simulator.step(actions)
+                self.record_step(
+                    {name: result.cost
+                     for name, result in results.items()},
+                    {name: result.usage
+                     for name, result in results.items()},
+                    {name: result.observation.vector()
+                     for name, result in results.items()})
+            self.end_episode()
+        return self.finish_run()

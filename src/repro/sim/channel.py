@@ -6,25 +6,40 @@ of slice users" (Sec. 9).  We model each user's wideband SNR as a
 first-order Gauss-Markov (AR(1)) process around a per-user mean drawn
 from a log-distance shadowing distribution, quantised to CQI with the
 standard reporting thresholds.
+
+State is stored struct-of-arrays (one mean/SNR/CQI array per process)
+so the batched engine (:mod:`repro.engine`) can advance and read whole
+populations with array ops; :attr:`ChannelProcess.users` remains as a
+per-user snapshot view for diagnostic callers.  The RNG consumption is
+bit-compatible with the historical per-user scalar draws: a size-``n``
+``standard_normal`` call consumes the generator exactly like ``n``
+scalar draws, so seeds reproduce the same channels as before the
+struct-of-arrays refactor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from repro.sim.phy import NUM_CQI, snr_to_cqi
+from repro.sim.phy import CQI_SNR_THRESHOLDS_DB, NUM_CQI
 
 
 @dataclass
 class UserChannel:
-    """State of one user's channel."""
+    """Snapshot of one user's channel (see :attr:`ChannelProcess.users`)."""
 
     mean_snr_db: float
     snr_db: float
     cqi: int
+
+
+def snr_to_cqi_array(snr_db: np.ndarray) -> np.ndarray:
+    """Vectorised SNR -> CQI quantisation (1..15), any shape."""
+    cqi = np.searchsorted(CQI_SNR_THRESHOLDS_DB, snr_db, side="right")
+    return np.clip(cqi, 1, NUM_CQI)
 
 
 class ChannelProcess:
@@ -52,32 +67,53 @@ class ChannelProcess:
         if not 0.0 <= correlation < 1.0:
             raise ValueError("correlation must be in [0, 1)")
         self._rng = rng
+        self.num_users = num_users
         self.correlation = correlation
         self.innovation_std_db = innovation_std_db
-        self.users: List[UserChannel] = []
-        for _ in range(num_users):
-            mean = float(rng.normal(mean_snr_db, snr_spread_db))
-            snr = float(rng.normal(mean, innovation_std_db))
-            self.users.append(UserChannel(
-                mean_snr_db=mean, snr_db=snr, cqi=snr_to_cqi(snr)))
+        # The historical scalar path drew, per user, mean then snr --
+        # an interleaved stream of standard normals.  One array draw
+        # consumes the generator identically; the even entries scale
+        # into means, the odd ones into initial SNRs.
+        z = rng.standard_normal(2 * num_users)
+        self.mean_snr_db = mean_snr_db + snr_spread_db * z[0::2]
+        self.snr_db = self.mean_snr_db + innovation_std_db * z[1::2]
+        self.cqi = snr_to_cqi_array(self.snr_db)
+
+    @property
+    def users(self) -> List[UserChannel]:
+        """Per-user snapshot views (read-only; state lives in arrays)."""
+        return [UserChannel(mean_snr_db=float(self.mean_snr_db[i]),
+                            snr_db=float(self.snr_db[i]),
+                            cqi=int(self.cqi[i]))
+                for i in range(self.num_users)]
 
     def step(self) -> None:
         """Advance every user's channel by one configuration slot."""
+        self.advance(self._rng.standard_normal(self.num_users))
+
+    def advance(self, innovations: np.ndarray) -> None:
+        """Apply one slot of AR(1) evolution from given standard-normal
+        innovations (the batched engine pre-draws these per world so
+        the per-world stream matches the scalar engine exactly)."""
         rho = self.correlation
         sigma = self.innovation_std_db * np.sqrt(1.0 - rho ** 2)
-        for user in self.users:
-            user.snr_db = (user.mean_snr_db
-                           + rho * (user.snr_db - user.mean_snr_db)
-                           + float(self._rng.normal(0.0, sigma)))
-            user.cqi = snr_to_cqi(user.snr_db)
+        self.snr_db = ((self.mean_snr_db
+                        + rho * (self.snr_db - self.mean_snr_db))
+                       + sigma * innovations)
+        self.cqi = snr_to_cqi_array(self.snr_db)
 
     @property
     def cqis(self) -> np.ndarray:
-        return np.array([user.cqi for user in self.users], dtype=int)
+        return np.asarray(self.cqi, dtype=int)
 
     @property
     def snrs_db(self) -> np.ndarray:
-        return np.array([user.snr_db for user in self.users])
+        return np.asarray(self.snr_db)
+
+    @property
+    def margins_db(self) -> np.ndarray:
+        """Per-user channel margin (current SNR minus per-user mean)."""
+        return self.snr_db - self.mean_snr_db
 
     def average_cqi(self) -> float:
         """Mean reported CQI -- the ``h_{t-1}`` state feature."""

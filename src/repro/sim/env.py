@@ -56,12 +56,26 @@ class SliceObservation:
     cost_threshold: float         # C_max
     cumulative_cost: float        # sum_m c_m / (T * C_max)
 
-    def vector(self) -> np.ndarray:
-        return np.array([
-            self.slot_fraction, self.traffic, self.channel_quality,
-            self.radio_usage, self.workload, self.last_usage,
-            self.last_cost, self.cost_threshold, self.cumulative_cost,
-        ])
+    def vector(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """The observation as a ``(STATE_DIM,)`` float array.
+
+        ``out`` writes into a pre-allocated buffer instead of
+        allocating -- the serving/engine hot paths reuse one buffer
+        per slice per episode.  Callers that *store* observations
+        across slots (rollout buffers) must keep the allocating form.
+        """
+        if out is None:
+            out = np.empty(STATE_DIM)
+        out[0] = self.slot_fraction
+        out[1] = self.traffic
+        out[2] = self.channel_quality
+        out[3] = self.radio_usage
+        out[4] = self.workload
+        out[5] = self.last_usage
+        out[6] = self.last_cost
+        out[7] = self.cost_threshold
+        out[8] = self.cumulative_cost
+        return out
 
 
 @dataclass(frozen=True)
@@ -201,8 +215,13 @@ class ScenarioSimulator:
             capacity_scale=scale, extra_latency_ms=extra,
             background_load_fraction=min(load, 0.95))
 
-    def _apply_events(self) -> None:
-        """Expire finished events and fire the ones due this slot."""
+    def apply_events(self) -> None:
+        """Expire finished events and fire the ones due this slot.
+
+        Called by :meth:`step` (and, world by world, by the batched
+        engine -- event draws consume this world's RNG in the same
+        order either way).
+        """
         if not self._events:
             return
         for event in list(self._active_events):
@@ -284,7 +303,7 @@ class ScenarioSimulator:
         """
         if self._slot >= self.horizon:
             raise RuntimeError("episode finished; call reset()")
-        self._apply_events()
+        self.apply_events()
         self.network.step_channels()
         rates = {name: self.realized_rate(name)
                  for name in self.network.slice_names}
@@ -301,10 +320,6 @@ class ScenarioSimulator:
             spec = self.network.slices[name]
             self._cum_cost[name] += report.cost
             horizon_cost = self.horizon * spec.sla.cost_threshold
-            next_traffic = (
-                float(self._traces[name][self._slot])
-                if self._slot < self.horizon
-                else float(self._traces[name][-1]))
             obs = SliceObservation(
                 slot_fraction=self._slot / self.horizon,
                 traffic=rates[name] / spec.max_arrival_rate,

@@ -5,6 +5,14 @@ cell, transport fabric, CUPS core, edge pool, per-slice channels) and
 evaluates a configuration slot: given each slice's resource allocation
 (the 10-dim action) and realised traffic, it produces per-slice
 performance/cost plus the usage and state features the agents consume.
+
+Slot evaluation runs through the vectorised engine kernels
+(:mod:`repro.engine.kernels`): one network is just the ``R = S`` rows
+special case of the batched engine, so the scalar simulator and
+:class:`~repro.engine.batch.BatchSimulator` share one numeric code
+path and stay bit-identical by construction.  The substrate objects
+(fabric loads, container shares) are still updated every slot, so
+external readers observe the same state as before the refactor.
 """
 
 from __future__ import annotations
@@ -15,14 +23,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.config import (
-    ACTION_NAMES,
     MAX_MCS_OFFSET,
     NUM_ACTIONS,
     NetworkConfig,
     SliceSpec,
-    usage_from_action,
 )
-from repro.sim.apps import AppPerformance, PipelineState, evaluate_app
+from repro.sim.apps import AppPerformance
 from repro.sim.channel import ChannelProcess
 from repro.sim.containers import ContainerRuntime
 from repro.sim.core_network import CoreNetwork
@@ -132,6 +138,11 @@ class EndToEndNetwork:
         self.slices: Dict[str, SliceSpec] = {}
         self.channels: Dict[str, ChannelProcess] = {}
         self._imsi_counter = 0
+        #: Cached engine row layout; rebuilt whenever the slice set
+        #: changes (see :meth:`slot_rows`).
+        self._rows_cache = None
+        #: Reused per-slot (cqi, margin) gather buffers.
+        self._channel_buffers = None
         if slices:
             for spec in slices:
                 self.add_slice(spec)
@@ -152,6 +163,7 @@ class EndToEndNetwork:
             self._imsi_counter += 1
             self.core.hss.provision(imsi, spec.name)
             self.core.attach(imsi)
+        self._rows_cache = None
 
     def remove_slice(self, name: str) -> None:
         if name not in self.slices:
@@ -162,6 +174,7 @@ class EndToEndNetwork:
         self.edge.delete_server(name)
         del self.channels[name]
         del self.slices[name]
+        self._rows_cache = None
 
     @property
     def slice_names(self) -> List[str]:
@@ -210,6 +223,34 @@ class EndToEndNetwork:
         for channel in self.channels.values():
             channel.step()
 
+    def slot_rows(self):
+        """This network's engine row layout (cached per slice set)."""
+        from repro.engine.kernels import rows_for_network
+
+        if self._rows_cache is None:
+            self._rows_cache = rows_for_network(self, horizon=0)
+        return self._rows_cache
+
+    def gather_channel_state(self):
+        """Stack every slice's per-user CQI and channel margin.
+
+        Returns ``(cqi, margin)`` of shape ``(S, users_per_slice)`` in
+        slice order.  The buffers are cached alongside the row layout
+        and refilled per call, so the scalar hot path allocates
+        nothing per slot (callers must consume them before the next
+        ``evaluate_slot``).
+        """
+        shape = (len(self.channels), self.cfg.users_per_slice)
+        if self._channel_buffers is None \
+                or self._channel_buffers[0].shape != shape:
+            self._channel_buffers = (np.empty(shape, dtype=np.intp),
+                                     np.empty(shape))
+        cqi, margin = self._channel_buffers
+        for i, channel in enumerate(self.channels.values()):
+            cqi[i] = channel.cqi
+            margin[i] = channel.margins_db
+        return cqi, margin
+
     def evaluate_slot(self, actions: Dict[str, np.ndarray],
                       arrival_rates: Dict[str, float]
                       ) -> Dict[str, SlotReport]:
@@ -225,84 +266,76 @@ class EndToEndNetwork:
         arrival_rates:
             Slice name -> realised arrivals per second this slot.
         """
+        from repro.engine.kernels import WorldConditions, evaluate_rows
+
         missing = set(self.slices) - set(actions)
         if missing:
             raise KeyError(f"missing actions for slices: {sorted(missing)}")
-        allocations = {
-            name: SliceAllocation.from_action(
-                actions[name], num_paths=self.fabric.num_paths)
-            for name in self.slices
-        }
-        # Transport contention: reserve every slice's meter first.
-        self.fabric.reset_loads()
-        for name, alloc in allocations.items():
-            self.fabric.reserve(
-                alloc.transport_path,
-                alloc.transport_bandwidth
-                * self.fabric.effective_capacity_bps())
-        reports: Dict[str, SlotReport] = {}
-        for name, alloc in allocations.items():
-            reports[name] = self._evaluate_slice(
-                name, alloc, actions[name],
-                float(arrival_rates.get(name, 0.0)))
-        return reports
+        names = list(self.slices)
+        matrix = np.empty((len(names), NUM_ACTIONS))
+        for i, name in enumerate(names):
+            arr = np.asarray(actions[name], dtype=float)
+            if arr.shape != (NUM_ACTIONS,):
+                raise ValueError(
+                    f"action must have shape ({NUM_ACTIONS},), "
+                    f"got {arr.shape}")
+            matrix[i] = arr
+        rates = np.asarray([float(arrival_rates.get(name, 0.0))
+                            for name in names])
+        rows = self.slot_rows()
+        cqi, margin = self.gather_channel_state()
+        out = evaluate_rows(
+            rows, WorldConditions.from_fabrics([self.fabric]),
+            matrix, rates, cqi, margin)
+        self._apply_slot_state(matrix, out)
+        return self.wrap_reports(rows, out, rates)
 
-    def _evaluate_slice(self, name: str, alloc: SliceAllocation,
-                        action: np.ndarray, arrival_rate: float
-                        ) -> SlotReport:
-        spec = self.slices[name]
-        channel = self.channels[name]
-        ul = self.cell.slice_capacity(
-            alloc.uplink_bandwidth, alloc.uplink_mcs_offset,
-            alloc.uplink_scheduler, channel, uplink=True)
-        dl = self.cell.slice_capacity(
-            alloc.downlink_bandwidth, alloc.downlink_mcs_offset,
-            alloc.downlink_scheduler, channel, uplink=False)
-        offered_bps = arrival_rate * (spec.uplink_payload_bits
-                                      + spec.downlink_payload_bits)
-        transport = self.fabric.evaluate(
-            alloc.transport_path, alloc.transport_bandwidth, offered_bps)
-        self.core.set_slice_resources(name, alloc.cpu_allocation,
-                                      alloc.ram_allocation
-                                      * self.cfg.edge.total_ram_gb)
-        core = self.core.evaluate(name, offered_bps)
-        self.edge.set_resources(name, alloc.cpu_allocation,
-                                alloc.ram_allocation)
-        edge = self.edge.evaluate(name,
-                                  arrival_rate * spec.compute_units,
-                                  compute_units_per_request=1.0)
-        pipe = PipelineState(
-            arrival_rate=arrival_rate,
-            ul_capacity_bps=ul.capacity_bps,
-            dl_capacity_bps=dl.capacity_bps,
-            ul_retx_probability=ul.retransmission_probability,
-            dl_retx_probability=dl.retransmission_probability,
-            ran_base_latency_ms=self.cfg.ran.base_latency_ms,
-            transport_rate_bps=transport.rate_cap_bps,
-            transport_latency_ms=transport.latency_ms,
-            core_latency_ms=core.latency_ms,
-            core_capacity_pps=core.processing_rate_pps,
-            edge_latency_ms=edge.latency_ms,
-            edge_capacity_ups=edge.service_rate_ups,
-            mean_packet_bits=self.cfg.core.mean_packet_bits,
-        )
-        performance = evaluate_app(spec, pipe)
-        radio_usage = 0.5 * (alloc.uplink_bandwidth
-                             + alloc.downlink_bandwidth)
-        workload = 0.5 * (core.utilization + edge.utilization)
-        return SlotReport(
-            slice_name=name,
-            performance=performance,
-            usage=usage_from_action(action),
-            arrival_rate=arrival_rate,
-            ul_capacity_bps=ul.capacity_bps,
-            dl_capacity_bps=dl.capacity_bps,
-            radio_usage=radio_usage,
-            workload=workload,
-            transport_latency_ms=transport.latency_ms,
-            core_latency_ms=core.latency_ms,
-            edge_latency_ms=edge.latency_ms,
-        )
+    def _apply_slot_state(self, matrix: np.ndarray, out: Dict) -> None:
+        """Mirror the slot's side effects onto the substrate objects.
+
+        The kernels are pure; transport path loads and container
+        CPU/RAM shares are written back so diagnostic readers (tests,
+        the domain managers, figure scripts) observe the same
+        post-slot state the per-slice loop used to leave behind.
+        """
+        self.fabric.set_loads(
+            out["path_loads"][0, :self.fabric.num_paths])
+        for i, name in enumerate(self.slices):
+            # decoded consumable shares (clip to [0, 1], MIN_SHARE floor)
+            cpu = float(np.clip(matrix[i, 8], 0.01, 1.0))
+            ram = float(np.clip(matrix[i, 9], 0.01, 1.0))
+            self.core.set_slice_resources(
+                name, cpu, ram * self.cfg.edge.total_ram_gb)
+            self.edge.set_resources(name, cpu, ram)
+
+    def wrap_reports(self, rows, out: Dict, rates: np.ndarray,
+                     offset: int = 0) -> Dict[str, SlotReport]:
+        """Build per-slice :class:`SlotReport` objects from kernel rows
+        (``offset`` selects this network's rows in a multi-world
+        bundle)."""
+        reports: Dict[str, SlotReport] = {}
+        for i, name in enumerate(self.slices):
+            r = offset + i
+            performance = AppPerformance(
+                metric=rows.metrics[r],
+                value=float(out["value"][r]),
+                satisfaction=float(out["satisfaction"][r]),
+                cost=float(out["cost"][r]))
+            reports[name] = SlotReport(
+                slice_name=name,
+                performance=performance,
+                usage=float(out["usage"][r]),
+                arrival_rate=float(rates[i]),
+                ul_capacity_bps=float(out["ul_capacity_bps"][r]),
+                dl_capacity_bps=float(out["dl_capacity_bps"][r]),
+                radio_usage=float(out["radio_usage"][r]),
+                workload=float(out["workload"][r]),
+                transport_latency_ms=float(
+                    out["transport_latency_ms"][r]),
+                core_latency_ms=float(out["core_latency_ms"][r]),
+                edge_latency_ms=float(out["edge_latency_ms"][r]),
+            )
+        return reports
 
     # ---- diagnostics -----------------------------------------------------
 

@@ -1,0 +1,432 @@
+"""Batched-engine parity suite.
+
+The vectorised engine's contract is *bit-exactness*: a world stepped
+inside a :class:`~repro.engine.batch.BatchSimulator` -- any batch
+size, any scenario mix -- produces exactly the traffic, channels,
+rewards, costs and observations of the scalar
+:class:`~repro.sim.env.ScenarioSimulator`.  This suite pins that
+contract against the golden trace digests for every catalog scenario
+(B=1 and a mixed B=8 batch), asserts step-level bit equality on
+stochastic worlds with churn and fault events, and checks the layers
+above (batched policies, projection, the fleet shard's lockstep
+driver) reproduce their scalar counterparts.
+
+It also guards the two numpy properties the engine's determinism
+rests on: array RNG draws consume a Generator exactly like the
+equivalent scalar draw sequence, and elementwise ufuncs are
+value-deterministic regardless of array length/position.  If either
+ever breaks in a numpy upgrade, these tests fail loudly instead of
+the engine silently drifting from the scalar reference.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.baselines.model_based import ModelBasedPolicy
+from repro.baselines.projection import project_actions
+from repro.baselines.rule_based import RuleBasedPolicy
+from repro.config import ExperimentConfig, NUM_ACTIONS, NetworkConfig
+from repro.engine import (
+    BatchSimulator,
+    ConstantBatchPolicy,
+    ModelBasedBatchPolicy,
+    RuleBasedBatchPolicy,
+    VecOnRLAgent,
+    project_actions_batch,
+)
+from repro.experiments.harness import (
+    make_onrl_agents,
+    make_simulators,
+    run_episodes,
+    train_onrl,
+)
+from repro.sim.env import STATE_DIM, ScenarioSimulator
+
+from test_golden_digests import GOLDEN_TRACE_DIGESTS
+
+
+def _build_sim(name, seed=None):
+    spec = scenarios.get(name)
+    cfg = spec.build_config(seed=seed)
+    return spec.build_simulator(cfg, rng=np.random.default_rng(cfg.seed))
+
+
+def _trace_digest(sim) -> str:
+    digest = hashlib.sha256()
+    for name, trace in sorted(sim.traces().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(
+            trace, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _random_policy_slots(sim, rng, slots):
+    """Step a scalar world under a shared random action stream."""
+    out = []
+    for _ in range(slots):
+        actions = {n: rng.uniform(0.0, 1.0, NUM_ACTIONS)
+                   for n in sim.slice_names}
+        results = sim.step(actions)
+        out.append({
+            n: (tuple(results[n].observation.vector()),
+                results[n].reward, results[n].cost, results[n].usage)
+            for n in sim.slice_names
+        })
+    return out
+
+
+class TestRNGStreamEquivalence:
+    """Array draws must equal the scalar draw sequence, bit for bit."""
+
+    def test_standard_normal_block(self):
+        a, b = np.random.default_rng(3), np.random.default_rng(3)
+        scalars = np.array([a.normal(0.0, 1.5) for _ in range(32)])
+        block = 1.5 * b.standard_normal(32)
+        assert np.array_equal(scalars, block)
+
+    def test_poisson_array(self):
+        a, b = np.random.default_rng(9), np.random.default_rng(9)
+        lams = np.array([0.0, 0.3, 5.0, 44.1, 123.0, 1e4])
+        scalars = np.array([a.poisson(lam) for lam in lams])
+        assert np.array_equal(scalars, b.poisson(lams))
+
+    def test_interleaved_channel_init(self):
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        means, snrs = [], []
+        for _ in range(8):
+            mean = a.normal(18.0, 4.0)
+            means.append(mean)
+            snrs.append(a.normal(mean, 1.5))
+        z = b.standard_normal(16)
+        mean_block = 18.0 + 4.0 * z[0::2]
+        snr_block = mean_block + 1.5 * z[1::2]
+        assert np.array_equal(means, mean_block)
+        assert np.array_equal(snrs, snr_block)
+
+    def test_ufunc_length_invariance(self):
+        x = np.linspace(-3.0, 3.0, 257)
+        full = np.power(10.0, x)
+        singles = np.array([np.power(10.0, v) for v in x])
+        assert np.array_equal(full, singles)
+
+
+class TestTraceDigestParity:
+    """The pinned golden workloads survive batching untouched."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_TRACE_DIGESTS))
+    def test_single_world_batch(self, name):
+        batch = BatchSimulator([_build_sim(name)])
+        batch.reset()
+        assert _trace_digest(batch.sims[0]) == \
+            GOLDEN_TRACE_DIGESTS[name]
+
+    def test_mixed_eight_world_batch(self):
+        names = ["default", "flash_crowd", "bursty", "drift",
+                 "six_slices", "slice_churn", "link_degradation",
+                 "short_horizon"]
+        batch = BatchSimulator([_build_sim(name) for name in names])
+        batch.reset()
+        for sim, name in zip(batch.sims, names):
+            assert _trace_digest(sim) == GOLDEN_TRACE_DIGESTS[name], \
+                f"scenario {name!r} trace drifted inside the batch"
+
+
+class TestStepParity:
+    """Stepping in a batch is bit-identical to stepping alone."""
+
+    NAMES = ["default", "flash_crowd", "slice_churn",
+             "link_degradation", "latency_surge", "six_slices",
+             "bursty", "short_horizon"]
+
+    def test_mixed_batch_bit_exact(self):
+        slots = min(16, min(_build_sim(name).horizon
+                            for name in self.NAMES))
+        scalar = {}
+        for name in self.NAMES:
+            sim = _build_sim(name)
+            sim.reset()
+            scalar[name] = _random_policy_slots(
+                sim, np.random.default_rng(123), slots)
+
+        sims = [_build_sim(name) for name in self.NAMES]
+        batch = BatchSimulator(sims)
+        batch.reset()
+        rngs = [np.random.default_rng(123) for _ in self.NAMES]
+        for _ in range(slots):
+            actions = [
+                {n: rngs[b].uniform(0.0, 1.0, NUM_ACTIONS)
+                 for n in sims[b].slice_names}
+                for b in range(len(sims))
+            ]
+            step = batch.step(actions)
+            for b, name in enumerate(self.NAMES):
+                rows = step.rows_of(b)
+                expected = scalar[name].pop(0)
+                for j, slice_name in enumerate(step.names[b]):
+                    exp_obs, exp_r, exp_c, exp_u = expected[slice_name]
+                    assert tuple(step.observations[rows][j]) == exp_obs
+                    assert float(step.rewards[rows][j]) == exp_r
+                    assert float(step.costs[rows][j]) == exp_c
+                    assert float(step.usages[rows][j]) == exp_u
+
+    def test_cumulative_state_mirrors_scalar(self):
+        sim_a = _build_sim("default")
+        sim_a.reset()
+        action = np.full(NUM_ACTIONS, 0.3)
+        for _ in range(5):
+            sim_a.step({n: action for n in sim_a.slice_names})
+
+        sim_b = _build_sim("default")
+        batch = BatchSimulator([sim_b])
+        batch.reset()
+        for _ in range(5):
+            batch.step([{n: action for n in sim_b.slice_names}])
+        assert sim_b.slot == sim_a.slot
+        for name in sim_a.slice_names:
+            assert sim_b.cumulative_cost(name) == \
+                sim_a.cumulative_cost(name)
+            assert sim_b.sla_violated(name) == sim_a.sla_violated(name)
+
+    def test_heterogeneous_user_populations(self):
+        cfg_small = ExperimentConfig()
+        cfg_large = ExperimentConfig(
+            network=NetworkConfig(users_per_slice=5))
+        action = np.full(NUM_ACTIONS, 0.4)
+
+        def run_scalar(cfg):
+            sim = ScenarioSimulator(
+                cfg, rng=np.random.default_rng(cfg.seed))
+            sim.reset()
+            out = []
+            for _ in range(6):
+                results = sim.step(
+                    {n: action for n in sim.slice_names})
+                out.append({n: (r.reward, r.cost)
+                            for n, r in results.items()})
+            return out
+
+        expected = [run_scalar(cfg_small), run_scalar(cfg_large)]
+        sims = [ScenarioSimulator(cfg_small,
+                                  rng=np.random.default_rng(
+                                      cfg_small.seed)),
+                ScenarioSimulator(cfg_large,
+                                  rng=np.random.default_rng(
+                                      cfg_large.seed))]
+        batch = BatchSimulator(sims)
+        batch.reset()
+        for t in range(6):
+            step = batch.step([{n: action for n in sim.slice_names}
+                               for sim in sims])
+            for b in range(2):
+                rows = step.rows_of(b)
+                for j, name in enumerate(step.names[b]):
+                    reward, cost = expected[b][t][name]
+                    assert float(step.rewards[rows][j]) == reward
+                    assert float(step.costs[rows][j]) == cost
+
+    def test_step_guards(self):
+        sim = _build_sim("short_horizon")
+        batch = BatchSimulator([sim])
+        with pytest.raises(RuntimeError, match="never reset"):
+            batch.step([{n: np.full(NUM_ACTIONS, 0.2)
+                         for n in sim.slice_names}])
+        batch.reset()
+        with pytest.raises(ValueError, match="no world to step"):
+            batch.step([None])
+        while not sim.done:
+            batch.step([{n: np.full(NUM_ACTIONS, 0.2)
+                         for n in sim.slice_names}])
+        with pytest.raises(RuntimeError, match="episode finished"):
+            batch.step([{n: np.full(NUM_ACTIONS, 0.2)
+                         for n in sim.slice_names}])
+
+
+class TestRunEpisodes:
+    """The harness's batched evaluation path."""
+
+    def test_vector_matches_scalar_engine(self):
+        policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.3))
+        cfg = scenarios.get("short_horizon").build_config()
+        spec = scenarios.get("short_horizon")
+        scalar = run_episodes(make_simulators(cfg, spec, count=3),
+                              policy, episodes=2, engine="scalar")
+        vector = run_episodes(make_simulators(cfg, spec, count=3),
+                              policy, episodes=2, engine="vector")
+        assert scalar == vector
+
+    def test_mixed_horizons_lockstep(self):
+        policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.25))
+        sims = [_build_sim("short_horizon"), _build_sim("default")]
+        results = run_episodes(sims, policy, episodes=1,
+                               engine="vector")
+        assert len(results) == 2
+        assert all(len(world) == 1 for world in results)
+        # both worlds ran their own full horizon
+        assert sims[0].slot == sims[0].horizon
+        assert sims[1].slot == sims[1].horizon
+        assert sims[0].horizon != sims[1].horizon
+
+    def test_rejects_unknown_engine(self):
+        policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.25))
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_episodes([_build_sim("default")], policy,
+                         engine="warp")
+
+
+class TestBatchPolicies:
+    def test_rule_based_matches_scalar_table(self):
+        rng = np.random.default_rng(0)
+        table = [rng.uniform(0.0, 1.0, NUM_ACTIONS) for _ in range(4)]
+        policy = RuleBasedPolicy("MAR", "mar",
+                                 (0.25, 0.5, 0.75, 1.0), table)
+        batch = RuleBasedBatchPolicy({"MAR": policy})
+        states = rng.uniform(0.0, 1.3, (64, STATE_DIM))
+        actions = batch.act_batch(states, ["MAR"] * 64)
+        for i in range(64):
+            expected = policy.act_vector(states[i])
+            assert np.array_equal(actions[i], expected)
+
+    def test_rule_based_app_fallback(self):
+        rng = np.random.default_rng(1)
+        table = [rng.uniform(0.0, 1.0, NUM_ACTIONS) for _ in range(2)]
+        policy = RuleBasedPolicy("MAR", "mar", (0.5, 1.0), table)
+        batch = RuleBasedBatchPolicy({"MAR": policy})
+        states = rng.uniform(0.0, 1.0, (3, STATE_DIM))
+        # MAR7 (population naming) routes onto the fitted mar table
+        actions = batch.act_batch(states, ["MAR7"] * 3)
+        for i in range(3):
+            assert np.array_equal(actions[i],
+                                  policy.act_vector(states[i]))
+
+    def test_model_based_matches_solver(self):
+        cfg = ExperimentConfig()
+        policies = {spec.name: ModelBasedPolicy(spec, cfg.network)
+                    for spec in cfg.slices}
+        batch = ModelBasedBatchPolicy(policies)
+        rng = np.random.default_rng(2)
+        states = rng.uniform(0.0, 1.0, (9, STATE_DIM))
+        names = [spec.name for spec in cfg.slices] * 3
+        actions = batch.act_batch(states, names)
+        for i, name in enumerate(names):
+            expected = policies[name].act_vector(states[i])
+            assert np.allclose(actions[i], expected, atol=5e-3), \
+                f"row {i} ({name}) diverged from the SLSQP solve"
+
+    def test_projection_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        worlds = [3, 5, 2]
+        offsets = np.concatenate([[0], np.cumsum(worlds)])
+        matrix = rng.uniform(0.0, 1.0, (sum(worlds), NUM_ACTIONS)) * 2
+        projected = project_actions_batch(matrix, offsets)
+        for w in range(len(worlds)):
+            rows = slice(offsets[w], offsets[w + 1])
+            names = [f"s{i}" for i in range(worlds[w])]
+            scalar = project_actions(
+                {name: matrix[offsets[w] + i]
+                 for i, name in enumerate(names)})
+            for i, name in enumerate(names):
+                assert np.array_equal(projected[rows][i],
+                                      scalar[name])
+
+
+class TestVecOnRL:
+    def test_act_observe_update_cycle(self):
+        cfg = ExperimentConfig()
+        agents = make_onrl_agents(cfg, seed=3)
+        agent = next(iter(agents.values()))
+        vec = VecOnRLAgent(agent, num_envs=4)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            states = rng.uniform(0.0, 1.0, (4, STATE_DIM))
+            actions = vec.act_many(states)
+            assert actions.shape == (4, NUM_ACTIONS)
+            assert np.all(actions >= 0.0) and np.all(actions <= 1.0)
+            vec.observe_many(rng.uniform(-1, 0, 4),
+                             rng.uniform(0, 1, 4))
+        vec.end_episodes()
+        assert sum(len(buffer) for buffer in vec.buffers) == 12
+
+    def test_observe_before_act_raises(self):
+        cfg = ExperimentConfig()
+        agent = next(iter(make_onrl_agents(cfg, seed=3).values()))
+        vec = VecOnRLAgent(agent, num_envs=2)
+        with pytest.raises(RuntimeError, match="before act_many"):
+            vec.observe_many(np.zeros(2), np.zeros(2))
+
+    def test_train_onrl_batched_smoke(self):
+        spec = scenarios.get("short_horizon")
+        cfg = spec.build_config()
+        trained = train_onrl(cfg, epochs=1, episodes_per_epoch=1,
+                             seed=3, scenario=spec, envs=3)
+        assert len(trained["trajectory"]) == 1
+        point = trained["trajectory"][0]
+        assert 0.0 <= point.mean_usage <= 1.0
+        assert 0.0 <= point.violation_rate <= 1.0
+        assert set(trained["agents"]) == {s.name for s in cfg.slices}
+
+
+class TestFleetEngineParity:
+    def test_scalar_and_vector_shards_agree(self):
+        from repro.fleet.shard import ShardPlan, run_fleet_shard
+        from repro.fleet.spec import FleetSpec
+        from repro.serve import snapshot_onrl
+
+        base_cfg = scenarios.get("default").build_config()
+        snapshot = snapshot_onrl(
+            "engine-parity", base_cfg,
+            make_onrl_agents(base_cfg, seed=11), seed=11)
+        spec = FleetSpec(name="engine-parity", cells=4,
+                         scenarios=("default", "slice_churn"),
+                         episodes=1, slots=10, seed=5)
+        resolved = spec.resolve_scenarios()
+
+        def run(engine):
+            plan = ShardPlan(
+                shard=0, spec=spec, cells=spec.cell_plans(),
+                scenarios=resolved, store_dir=".",
+                snapshot_ref=snapshot.ref,
+                snapshot_digest=snapshot.digest, engine=engine)
+            return run_fleet_shard(plan, snapshot=snapshot)
+
+        scalar, vector = run("scalar"), run("vector")
+        assert len(scalar.cells) == len(vector.cells) == 4
+        for a, b in zip(scalar.cells, vector.cells):
+            assert a.decision_digest == b.decision_digest
+            assert a.violation_rate == b.violation_rate
+            assert a.mean_usage == b.mean_usage
+            assert a.decisions == b.decisions
+            assert a.fallbacks == b.fallbacks
+
+    def test_unknown_engine_rejected(self):
+        from repro.fleet.shard import ShardPlan, run_fleet_shard
+        from repro.fleet.spec import FleetSpec
+        from repro.serve import snapshot_onrl
+
+        base_cfg = scenarios.get("default").build_config()
+        snapshot = snapshot_onrl(
+            "engine-reject", base_cfg,
+            make_onrl_agents(base_cfg, seed=11), seed=11)
+        spec = FleetSpec(name="engine-reject", cells=1,
+                         scenarios=("default",), episodes=1,
+                         slots=4, seed=5)
+        plan = ShardPlan(
+            shard=0, spec=spec, cells=spec.cell_plans(),
+            scenarios=spec.resolve_scenarios(), store_dir=".",
+            snapshot_ref=snapshot.ref,
+            snapshot_digest=snapshot.digest, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_fleet_shard(plan, snapshot=snapshot)
+
+
+class TestObservationBuffers:
+    def test_vector_out_writes_in_place(self):
+        sim = _build_sim("default")
+        observations = sim.reset()
+        name = sim.slice_names[0]
+        buffer = np.zeros(STATE_DIM)
+        returned = observations[name].vector(out=buffer)
+        assert returned is buffer
+        assert np.array_equal(buffer, observations[name].vector())
