@@ -1,0 +1,79 @@
+"""Fuzz-oracle throughput: vectorized corpus sweeps vs scalar replay.
+
+The fuzzer's practicality rests on the batched engine: a corpus of
+randomly composed worlds (ragged slice counts, ragged horizons) must
+sweep through :func:`repro.experiments.fuzz.run_fuzz_batch` much
+faster than replaying the same worlds one by one through the scalar
+loop, or the Pareto sweep and CI smoke budgets stop fitting.  The
+gate is deliberately modest (>= 2x) because fuzz corpora are adversely
+shaped for batching -- worlds finish at different slots and the
+lockstep kernel carries the stragglers.
+
+Each run is also a live oracle check: the batch executes with the
+invariant checks on, and the bench asserts zero breaches in both
+engines, so a kernel regression fails the benchmark rather than
+skewing its timing.
+
+``REPRO_BENCH_QUICK=1`` shrinks the corpus for CI smoke runs; the
+gate applies either way.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.experiments.fuzz import build_method_policies, run_fuzz_batch
+from repro.scenarios.fuzz import generate_corpus
+
+SEED = 11
+COUNT = 8 if os.environ.get("REPRO_BENCH_QUICK") else 24
+
+#: The acceptance gate: vector corpus-worlds/sec over scalar.
+MIN_SPEEDUP = 2.0
+
+
+def _drive(engine: str):
+    specs = generate_corpus(SEED, COUNT)
+    policy, _ = build_method_policies(
+        methods=("model_based",))["Model_Based"]
+    start = time.perf_counter()
+    rows = run_fuzz_batch(specs, policy, engine=engine,
+                          check_parity=False)
+    elapsed = time.perf_counter() - start
+    slots = sum(row["horizon"] for row in rows)
+    return {"elapsed_s": elapsed, "rows": rows, "world_slots": slots}
+
+
+def test_fuzz_oracle_vector_vs_scalar(benchmark):
+    # warm-up: kernels, policy model caches, trace synthesis
+    _drive("vector")
+
+    vector = run_once(benchmark, _drive, "vector")
+    scalar = _drive("scalar")
+
+    for label, result in (("vector", vector), ("scalar", scalar)):
+        breaches = [b for row in result["rows"]
+                    for b in row["breaches"]]
+        assert not breaches, \
+            f"fuzz oracle breaches under the {label} engine: {breaches}"
+    assert [(row["scenario"], row["violations"])
+            for row in vector["rows"]] == \
+        [(row["scenario"], row["violations"])
+         for row in scalar["rows"]], \
+        "engine parity violation: fuzz verdicts differ"
+
+    vector_rate = vector["world_slots"] / vector["elapsed_s"]
+    scalar_rate = scalar["world_slots"] / scalar["elapsed_s"]
+    speedup = vector_rate / scalar_rate
+    benchmark.extra_info["fuzz_corpus"] = COUNT
+    benchmark.extra_info["vector_world_slots_per_sec"] = vector_rate
+    benchmark.extra_info["scalar_world_slots_per_sec"] = scalar_rate
+    benchmark.extra_info["speedup"] = speedup
+
+    print(f"\nFuzz-oracle throughput over {COUNT} fuzzed worlds:")
+    print(f"  scalar  {scalar_rate:12,.0f} world-slots/s")
+    print(f"  vector  {vector_rate:12,.0f} world-slots/s")
+    print(f"  speedup {speedup:12.1f}x  (gate: >= "
+          f"{MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP

@@ -32,6 +32,15 @@ Subcommands
     per-cell outliers, deterministic report digest).  ``fleet
     report --checkpoint`` rebuilds the report from a checkpoint file
     without running anything.
+``fuzz run / fuzz shrink / fuzz sweep``
+    Scenario fuzzing: ``run`` generates a seeded spec corpus
+    (``--seed``/``--count``) and oracle-checks it across methods --
+    SLA verdicts plus engine invariants (finite kernels, conservation,
+    cross-engine parity), exiting non-zero on an invariant breach;
+    ``shrink`` delta-debugs one violating world to a minimal spec
+    (``--out`` writes the tagged JSON for catalog graduation);
+    ``sweep`` writes cost-vs-SLA Pareto frontier and scenario-family
+    heatmap artefacts (also available as ``run fuzz_sweep``).
 ``run ARTEFACT [ARTEFACT ...]``
     Regenerate artefacts through the shared
     :class:`~repro.runtime.runner.ParallelRunner`: ``--workers`` fans
@@ -66,6 +75,10 @@ Examples
     python -m repro fleet run --cells 32 --checkpoint fleet.jsonl \
         --resume
     python -m repro fleet report --checkpoint fleet.jsonl
+    python -m repro fuzz run --seed 11 --count 16
+    python -m repro fuzz shrink --seed 11 --world 4 \
+        --method model_based
+    python -m repro fuzz sweep --count 32 --out artefacts/
 """
 
 from __future__ import annotations
@@ -143,6 +156,8 @@ ARTEFACTS: Dict[str, Artefact] = {a.name: a for a in (
              "stress matrix", "fanout"),
     Artefact("fleet_sweep", "fleet campaigns at growing cell counts",
              "fanout"),
+    Artefact("fuzz_sweep", "cost-vs-SLA Pareto frontier over fuzzed "
+             "worlds", "fanout"),
 )}
 
 
@@ -155,6 +170,10 @@ def _generator(name: str) -> Callable[..., Any]:
         from repro.experiments.fleet_sweep import fleet_sweep
 
         return fleet_sweep
+    if name == "fuzz_sweep":
+        from repro.experiments.fuzz import fuzz_sweep
+
+        return fuzz_sweep
     from repro.experiments import figures, tables
 
     module = tables if name.startswith("table") else figures
@@ -352,6 +371,58 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="PATH")
     fleet_report.add_argument("--json", action="store_true",
                               dest="as_json")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz scenarios, shrink failing worlds, sweep")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="generate a seeded corpus and oracle-check it")
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="minimise one SLA-violating fuzzed world")
+    fuzz_sweep_p = fuzz_sub.add_parser(
+        "sweep", help="Pareto frontier + family heatmap artefacts")
+    for p in (fuzz_run, fuzz_shrink, fuzz_sweep_p):
+        p.add_argument("--seed", type=int, default=11,
+                       help="fuzz seed (default: 11)")
+        p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                       help="snapshot training schedule scale for the "
+                            f"learned methods (default: {DEFAULT_SCALE})")
+        p.add_argument("--store-dir", default=DEFAULT_STORE_DIR,
+                       help="policy store for the learned methods' "
+                            f"snapshots (default: {DEFAULT_STORE_DIR})")
+        p.add_argument("--json", action="store_true", dest="as_json")
+    for p in (fuzz_run, fuzz_sweep_p):
+        p.add_argument("--count", type=int, default=16,
+                       help="corpus size (default: 16)")
+        p.add_argument("--batch", type=int, default=8,
+                       help="worlds per engine batch (default: 8)")
+        p.add_argument("--methods", default="baseline,model_based",
+                       metavar="A,B",
+                       help="comma-separated methods (default: the "
+                            "training-free baseline,model_based; "
+                            f"any of {','.join(TRAIN_METHODS)})")
+        p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute, bypassing the result cache")
+    fuzz_run.add_argument("--engine", choices=("scalar", "vector"),
+                          default="vector")
+    fuzz_run.add_argument("--no-parity", action="store_true",
+                          help="skip the cross-engine parity check")
+    fuzz_shrink.add_argument("--world", type=int, required=True,
+                             help="corpus index of the failing world")
+    fuzz_shrink.add_argument("--method", choices=TRAIN_METHODS,
+                             default="model_based",
+                             help="method whose SLA violation must be "
+                                  "preserved (default: model_based)")
+    fuzz_shrink.add_argument("--max-evals", type=int, default=200,
+                             help="predicate evaluation budget "
+                                  "(default: 200)")
+    fuzz_shrink.add_argument("--out", default=None, metavar="PATH",
+                             help="write the shrunk spec as tagged "
+                                  "JSON (catalog graduation input)")
+    fuzz_sweep_p.add_argument("--out", default=None, metavar="DIR",
+                              help="write fuzz_pareto.json / "
+                                   "fuzz_heatmap.json artefacts")
 
     run = sub.add_parser("run", help="regenerate artefacts")
     run.add_argument("artefacts", nargs="+", metavar="ARTEFACT",
@@ -681,6 +752,132 @@ def _run_fleet(args) -> int:
     return 0
 
 
+def _parse_fuzz_methods(text: str) -> tuple:
+    methods = tuple(name.strip() for name in text.split(",")
+                    if name.strip())
+    if not methods:
+        raise SystemExit("--methods names no method (expected a "
+                         f"comma-separated subset of "
+                         f"{','.join(TRAIN_METHODS)})")
+    unknown = [m for m in methods if m not in TRAIN_METHODS]
+    if unknown:
+        raise SystemExit(f"unknown method(s): {', '.join(unknown)} "
+                         f"(expected a subset of "
+                         f"{','.join(TRAIN_METHODS)})")
+    return methods
+
+
+def _run_fuzz(args) -> int:
+    """The ``fuzz run`` / ``fuzz shrink`` / ``fuzz sweep`` subcommands.
+
+    ``run`` exits non-zero when the oracle reports an engine invariant
+    breach (a bug, unlike SLA violations, which are findings); the CI
+    smoke job leans on that.
+    """
+    from repro.experiments.fuzz import (
+        build_method_policies,
+        fuzz_sweep,
+        run_fuzz,
+        shrink_violation,
+    )
+    from repro.experiments.robustness import METHOD_LABELS
+    from repro.scenarios.fuzz import generate_spec, spec_digest
+
+    if args.fuzz_command == "shrink":
+        policies = build_method_policies(
+            methods=(args.method,), scale=args.scale,
+            snapshot_store=args.store_dir)
+        policy = policies[METHOD_LABELS[args.method]][0]
+        spec = generate_spec(args.seed, args.world)
+        try:
+            shrunk, evals = shrink_violation(
+                spec, policy, max_evals=args.max_evals)
+        except ValueError as exc:
+            raise SystemExit(
+                f"{exc} (find violating worlds with 'python -m repro "
+                f"fuzz run --seed {args.seed} --methods "
+                f"{args.method}')")
+        digest = spec_digest(shrunk)
+        slots = (shrunk.traffic_cfg.slots_per_episode
+                 if shrunk.traffic_cfg is not None else None)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(to_jsonable(shrunk), fh, indent=2)
+        if args.as_json:
+            print(json.dumps({
+                "seed": args.seed, "world": args.world,
+                "method": args.method, "evals": evals,
+                "digest": digest, "slices": len(shrunk.slices),
+                "events": len(shrunk.events), "slots": slots,
+                "spec": to_jsonable(shrunk),
+            }, indent=2))
+            return 0
+        print(f"== fuzz shrink seed={args.seed} world={args.world} "
+              f"({args.method}) ==")
+        print(f"  before  {len(spec.slices)} slice(s), "
+              f"{len(spec.events)} event(s)")
+        print(f"  after   {len(shrunk.slices)} slice(s), "
+              f"{len(shrunk.events)} event(s), {slots} slot(s) "
+              f"in {evals} evaluation(s)")
+        print(f"  digest  {digest}")
+        if args.out:
+            print(f"  spec written to {args.out}")
+        return 0
+
+    configure_shared_cache(None if args.no_cache else args.cache_dir)
+    methods = _parse_fuzz_methods(args.methods)
+    if args.fuzz_command == "sweep":
+        rows = fuzz_sweep(scale=args.scale, seed=args.seed,
+                          count=args.count, methods=methods,
+                          snapshot_store=args.store_dir,
+                          batch=args.batch, out_dir=args.out)
+        if args.as_json:
+            print(json.dumps(to_jsonable(rows), indent=2))
+        else:
+            _print_result("fuzz_sweep", rows)
+            if args.out:
+                print(f"  artefacts written to {args.out}/")
+        return 0
+
+    result = run_fuzz(seed=args.seed, count=args.count,
+                      methods=methods, batch=args.batch,
+                      engine=args.engine,
+                      check_parity=not args.no_parity,
+                      scale=args.scale,
+                      snapshot_store=args.store_dir,
+                      use_cache=not args.no_cache)
+    breaches = 0
+    if args.as_json:
+        print(json.dumps(to_jsonable(result), indent=2))
+        breaches = sum(m["summary"]["breaches"]
+                       for m in result["methods"].values())
+        return 1 if breaches else 0
+    print(f"== fuzz run seed={result['seed']} "
+          f"count={result['count']} engine={result['engine']} ==")
+    print(f"  corpus digest {result['corpus_digest']}")
+    for label, method_result in result["methods"].items():
+        summary = method_result["summary"]
+        breaches += summary["breaches"]
+        print(f"  {label:<12} violating worlds "
+              f"{summary['violating_worlds']}/{summary['worlds']}  "
+              f"violation {summary['violation_pct']}%  "
+              f"usage {summary['usage_pct']}%  "
+              f"breaches {summary['breaches']}")
+        for row in method_result["worlds"]:
+            if row["violations"]:
+                print(f"    {row['scenario']} [{row['family']}] "
+                      f"violates {', '.join(row['violations'])}")
+            for breach in row["breaches"]:
+                print(f"    {row['scenario']} BREACH "
+                      f"{breach['kind']}: {breach['detail']}")
+    if breaches:
+        print(f"{breaches} engine invariant breach(es) -- this is a "
+              "bug; shrink with 'python -m repro fuzz shrink'",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -768,6 +965,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "fleet":
         return _run_fleet(args)
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     names = resolve_artefacts(args.artefacts)
     if args.scenario is not None:

@@ -14,10 +14,12 @@ into a parameter:
 * :mod:`repro.scenarios.events` -- mid-episode network events (link
   degradation, latency surge, background load, slice churn) executed
   through hooks in :class:`~repro.sim.env.ScenarioSimulator`;
-* :mod:`repro.scenarios.registry` -- the global name -> spec registry
-  experiment units resolve through;
+* :mod:`repro.scenarios.registry` -- :class:`ScenarioRegistry` and the
+  default instance experiment units resolve through;
 * :mod:`repro.scenarios.catalog` -- the built-in scenarios
-  (``python -m repro scenarios`` lists them).
+  (``python -m repro scenarios`` lists them);
+* :mod:`repro.scenarios.fuzz` -- seeded random composition of specs
+  from the pieces above (``python -m repro fuzz`` drives it).
 
 Everything here sits *below* the methods/experiments layers: it
 imports only ``repro.config`` and ``repro.sim``.
@@ -32,7 +34,17 @@ from repro.scenarios.events import (
     SliceArrival,
     SliceDeparture,
 )
+from repro.scenarios.fuzz import (
+    FuzzSpace,
+    corpus_digest,
+    generate_corpus,
+    generate_spec,
+    scenario_family,
+    spec_digest,
+)
 from repro.scenarios.registry import (
+    DEFAULT_REGISTRY,
+    ScenarioRegistry,
     all_specs,
     get,
     names,
@@ -63,6 +75,7 @@ from repro.scenarios import catalog as _catalog
 from repro.scenarios.catalog import ROBUSTNESS_MATRIX
 
 __all__ = [
+    "DEFAULT_REGISTRY",
     "ENVELOPE_MAX",
     "EVENT_TYPES",
     "ROBUSTNESS_MATRIX",
@@ -71,12 +84,14 @@ __all__ = [
     "ConstantTraffic",
     "DiurnalTraffic",
     "FlashCrowdTraffic",
+    "FuzzSpace",
     "LatencySurge",
     "LinkDegradation",
     "MixDriftTraffic",
     "NetworkEvent",
     "OnOffTraffic",
     "ScaledTraffic",
+    "ScenarioRegistry",
     "ScenarioSpec",
     "SliceArrival",
     "SliceDeparture",
@@ -84,10 +99,15 @@ __all__ = [
     "TraceReplayTraffic",
     "TrafficModel",
     "all_specs",
+    "corpus_digest",
     "first_episode_trace_digest",
+    "generate_corpus",
+    "generate_spec",
     "get",
     "names",
     "population",
     "register",
+    "scenario_family",
+    "spec_digest",
     "unregister",
 ]

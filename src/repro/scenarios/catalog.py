@@ -24,11 +24,13 @@ from repro.scenarios.events import (
     SliceArrival,
 )
 from repro.scenarios.registry import register
-from repro.scenarios.spec import ScenarioSpec, population
+from repro.scenarios.spec import ScenarioSpec, SliceTemplate, population
 from repro.scenarios.traffic_models import (
+    DiurnalTraffic,
     FlashCrowdTraffic,
     MixDriftTraffic,
     OnOffTraffic,
+    ScaledTraffic,
 )
 
 
@@ -101,6 +103,23 @@ register(ScenarioSpec(
     name="six_slices",
     description="6-slice population (2x MAR/HVS/RDC at derated load)",
     slices=population(6)))
+
+# Graduated fuzz repro: world 4 of fuzz seed 11, shrunk under
+# Model_Based by repro.experiments.fuzz.shrink_violation (8 predicate
+# evaluations: 2 slices -> 1, 2 events -> 0, 22 slots -> 6).  A single
+# over-provisioned MAR slice on a scaled diurnal day is enough to push
+# Model_Based past its SLA -- the minimal witness that the analytic
+# model under-allocates under arrival-rate derating.  Reproduce with
+# ``python -m repro fuzz shrink --seed 11 --world 4 --method
+# model_based``.
+register(ScenarioSpec(
+    name="fuzz_repro",
+    description="shrunk fuzz witness: one derated MAR slice violates "
+                "Model_Based (seed 11, world 4)",
+    slices=(SliceTemplate(app="mar", arrival_scale=0.7795),),
+    traffic=ScaledTraffic(base=DiurnalTraffic(), scale=0.6882),
+    traffic_cfg=TrafficConfig(slots_per_episode=6),
+    seed=1191539496))
 
 
 #: The scenario sweep of the ``robustness`` artefact: the paper's

@@ -1,51 +1,105 @@
-"""Global scenario registry: ``register`` / ``get`` / ``names``.
+"""Scenario registry: name -> :class:`ScenarioSpec` lookup.
 
-The registry maps scenario names to :class:`ScenarioSpec` objects.
+:class:`ScenarioRegistry` is the container; the module-level functions
+(``register`` / ``get`` / ``names`` / ...) delegate to one process-wide
+default instance, which the catalog populates at import time and
+experiment units resolve through.  Duplicate names are rejected loudly
+-- silently overwriting a registered scenario would let two call sites
+disagree about what a name means -- unless ``replace=True`` is passed
+explicitly.
+
 Experiment units carry the resolved spec (so user-registered scenarios
 survive pickling into spawn-context workers) plus the name for
 display, and the unit cache key hashes the spec's tagged-JSON form:
 units built after editing a registered scenario never collide with
 results cached under the old definition, even within one code version.
+
+Tools that need an isolated namespace (the fuzzer's shrink loop, tests)
+instantiate their own :class:`ScenarioRegistry` instead of mutating the
+default one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterator, Tuple
 
 from repro.scenarios.spec import ScenarioSpec
 
-_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+class ScenarioRegistry:
+    """A mutable name -> spec mapping with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec,
+                 replace: bool = False) -> ScenarioSpec:
+        """Add a scenario (returns it for chaining).
+
+        Raises :class:`ValueError` when ``spec.name`` is already
+        registered and ``replace`` is not set -- never silently
+        overwrites.
+        """
+        if not replace and spec.name in self._specs:
+            raise ValueError(
+                f"scenario {spec.name!r} is already registered; "
+                "pass replace=True to override")
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a scenario (mainly for tests); missing names no-op."""
+        self._specs.pop(name, None)
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look a scenario up by name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: "
+                f"{', '.join(self.names())}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered scenario names, in registration order."""
+        return tuple(self._specs)
+
+    def all_specs(self) -> Tuple[ScenarioSpec, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+
+#: The process-wide registry the catalog and experiment units share.
+DEFAULT_REGISTRY = ScenarioRegistry()
 
 
 def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
-    """Add a scenario to the registry (returns it for chaining)."""
-    if not replace and spec.name in _REGISTRY:
-        raise ValueError(
-            f"scenario {spec.name!r} is already registered; "
-            "pass replace=True to override")
-    _REGISTRY[spec.name] = spec
-    return spec
+    """Add a scenario to the default registry (returns it)."""
+    return DEFAULT_REGISTRY.register(spec, replace=replace)
 
 
 def unregister(name: str) -> None:
-    """Remove a scenario (mainly for tests)."""
-    _REGISTRY.pop(name, None)
+    """Remove a scenario from the default registry (mainly for tests)."""
+    DEFAULT_REGISTRY.unregister(name)
 
 
 def get(name: str) -> ScenarioSpec:
-    """Look a scenario up by name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; registered: "
-            f"{', '.join(names())}") from None
+    """Look a scenario up in the default registry."""
+    return DEFAULT_REGISTRY.get(name)
 
 
 def names() -> Tuple[str, ...]:
-    """Registered scenario names, in registration order."""
-    return tuple(_REGISTRY)
+    """Default-registry scenario names, in registration order."""
+    return DEFAULT_REGISTRY.names()
 
 
 def all_specs() -> Tuple[ScenarioSpec, ...]:
-    return tuple(_REGISTRY.values())
+    return DEFAULT_REGISTRY.all_specs()

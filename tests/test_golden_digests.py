@@ -50,7 +50,20 @@ GOLDEN_TRACE_DIGESTS = {
         "4209c115c77ca86d56b1e3f29df10fdb61477373a596524bc946aaa4555ea6a5",
     "six_slices":
         "10231ec7e9733d8c29feb335c8ca7f90c4b4b4f0925ddc2d2e3186dd9a54f5f8",
+    # graduated fuzz repro (see catalog.py for provenance)
+    "fuzz_repro":
+        "d1b9711882c0a363b1872c6c658412d71d7741ce3a498e13b4c047f310498db5",
 }
+
+#: Pinned fuzz-corpus identity: the first 8 worlds of fuzz seed 11.
+#: Guards the generator's determinism contract -- any change to the
+#: draw order, the parameter ranges, or the spec serialization moves
+#: this digest.  Re-pin (when intentional) with::
+#:
+#:     PYTHONPATH=src python -c "from repro.scenarios.fuzz import *; \
+#:         print(corpus_digest(generate_corpus(11, 8)))"
+GOLDEN_FUZZ_CORPUS = \
+    "dd6ed2f73e621ed034a526d451a715dce00aec15c9c10bf0a31ecd1c7795051f"
 
 
 def test_every_catalog_scenario_is_pinned():
@@ -80,3 +93,33 @@ def test_digest_is_deterministic_and_seed_sensitive():
     assert again == GOLDEN_TRACE_DIGESTS["flash_crowd"]
     other_seed = scenarios.first_episode_trace_digest(spec, seed=999)
     assert other_seed != GOLDEN_TRACE_DIGESTS["flash_crowd"]
+
+
+def test_fuzz_corpus_digest_is_pinned():
+    """Fixed fuzz seed -> identical generated-spec corpus, forever.
+
+    Also asserts prefix stability (the batch-size independence the
+    fuzzer's determinism contract promises): the first 8 worlds of a
+    16-world corpus are the 8-world corpus.
+    """
+    from repro.scenarios.fuzz import corpus_digest, generate_corpus
+
+    corpus = generate_corpus(11, 8)
+    assert corpus_digest(corpus) == GOLDEN_FUZZ_CORPUS, (
+        "the fuzz generator no longer reproduces its pinned corpus "
+        "for seed 11 -- a draw-order or parameter-range change. If "
+        "intentional, re-pin GOLDEN_FUZZ_CORPUS (see its comment).")
+    longer = generate_corpus(11, 16)
+    assert corpus_digest(longer[:8]) == GOLDEN_FUZZ_CORPUS
+    assert corpus_digest(longer) != GOLDEN_FUZZ_CORPUS
+
+
+def test_fuzz_repro_still_buildable():
+    """The graduated repro stays a valid, minimal world."""
+    spec = scenarios.get("fuzz_repro")
+    assert len(spec.slices) <= 8
+    assert len(spec.events) <= 3
+    cfg = spec.build_config()
+    sim = spec.build_simulator(cfg)
+    assert sim.horizon == 6
+    assert sim.slice_names == ["MAR1"]

@@ -72,6 +72,51 @@ class TestRegistry:
             sc.ScenarioSpec(name="")
 
 
+class TestScenarioRegistryClass:
+    """Satellite: ScenarioRegistry instances reject duplicates loudly
+    and stay isolated from the default registry."""
+
+    def test_duplicate_rejected_with_clear_error(self):
+        registry = sc.ScenarioRegistry()
+        spec = sc.ScenarioSpec(name="dup_check")
+        registry.register(spec)
+        with pytest.raises(ValueError) as err:
+            registry.register(sc.ScenarioSpec(
+                name="dup_check", description="impostor"))
+        # the error must name the scenario and the escape hatch
+        assert "dup_check" in str(err.value)
+        assert "replace=True" in str(err.value)
+        # the original registration survives the rejected overwrite
+        assert registry.get("dup_check").description == \
+            spec.description
+
+    def test_replace_and_unregister(self):
+        registry = sc.ScenarioRegistry()
+        registry.register(sc.ScenarioSpec(name="a"))
+        registry.register(sc.ScenarioSpec(name="a", description="v2"),
+                          replace=True)
+        assert registry.get("a").description == "v2"
+        registry.unregister("a")
+        registry.unregister("a")  # missing names no-op
+        assert "a" not in registry
+
+    def test_container_protocol_and_isolation(self):
+        registry = sc.ScenarioRegistry()
+        assert len(registry) == 0
+        registry.register(sc.ScenarioSpec(name="x"))
+        registry.register(sc.ScenarioSpec(name="y"))
+        assert list(registry) == ["x", "y"]
+        assert registry.names() == ("x", "y")
+        assert len(registry.all_specs()) == 2
+        # an isolated instance never leaks into the default registry
+        assert "x" not in sc.names()
+        with pytest.raises(KeyError, match="registered"):
+            registry.get("default")
+        # ...and the default registry delegates to a real instance
+        assert isinstance(sc.DEFAULT_REGISTRY, sc.ScenarioRegistry)
+        assert "default" in sc.DEFAULT_REGISTRY
+
+
 class TestLegacyFactories:
     """experiments/scenarios.py factories, now registry-backed."""
 
@@ -342,6 +387,92 @@ class TestSimulatorEvents:
             costs_a = [r["MAR"].cost for r in a]
             costs_b = [r["MAR"].cost for r in b]
             assert costs_a == costs_b
+
+
+class TestEventEdgeCases:
+    """Satellite: overlapping windows, horizon-boundary churn,
+    zero-duration events."""
+
+    def _drive(self, events, slots=12, probe=None):
+        """Run a short episode, recording ``probe(sim)`` per slot."""
+        spec = sc.ScenarioSpec(
+            name="edge", events=tuple(events),
+            traffic_cfg=TrafficConfig(slots_per_episode=slots))
+        sim = spec.build_simulator()
+        sim.reset()
+        readings = []
+        while not sim.done:
+            sim.step({n: np.full(10, 0.2) for n in sim.slice_names})
+            readings.append(probe(sim) if probe else None)
+        return sim, readings
+
+    def test_overlapping_capacity_windows_multiply(self):
+        # slots 3..9 at 0.5x, slots 6..12(clipped) at 0.5x: the
+        # overlap composes multiplicatively to 0.25x
+        first = sc.LinkDegradation(at_fraction=0.25,
+                                   duration_fraction=0.5,
+                                   capacity_scale=0.5)
+        second = sc.LinkDegradation(at_fraction=0.5,
+                                    duration_fraction=0.5,
+                                    capacity_scale=0.5)
+        _, scales = self._drive(
+            (first, second),
+            probe=lambda sim: sim.network.fabric.capacity_scale)
+        assert scales[3] == pytest.approx(0.5)   # first only
+        assert scales[7] == pytest.approx(0.25)  # overlap
+        assert scales[10] == pytest.approx(0.5)  # second only
+
+    def test_overlapping_latency_and_load_compose(self):
+        surge_a = sc.LatencySurge(at_fraction=0.0,
+                                  duration_fraction=1.0,
+                                  extra_latency_ms=10.0)
+        surge_b = sc.LatencySurge(at_fraction=0.0,
+                                  duration_fraction=1.0,
+                                  extra_latency_ms=15.0)
+        # distinct values: identical (==) events dedup in apply_events
+        load_a = sc.BackgroundLoadStep(at_fraction=0.0,
+                                       duration_fraction=1.0,
+                                       load_fraction=0.5)
+        load_b = sc.BackgroundLoadStep(at_fraction=0.0,
+                                       duration_fraction=1.0,
+                                       load_fraction=0.6)
+        sim, _ = self._drive((surge_a, surge_b, load_a, load_b))
+        # latencies add; loads add but cap below saturation at 0.95
+        assert sim.network.fabric.extra_latency_ms == \
+            pytest.approx(25.0)
+        assert sim.network.fabric.background_load_fraction == \
+            pytest.approx(0.95)
+
+    def test_churn_at_horizon_boundary(self):
+        # at_fraction=1.0 clamps to the last slot: the background
+        # slice attaches for exactly the final step and the episode
+        # still ends with the world restored
+        arrival = sc.SliceArrival(at_fraction=1.0,
+                                  duration_fraction=0.5,
+                                  slice_name="EDGE")
+        sim, counts = self._drive(
+            (arrival,),
+            probe=lambda sim: len(sim.background_slice_names))
+        assert arrival.start_slot(sim.horizon) == sim.horizon - 1
+        assert counts[-1] == 1
+        assert all(c == 0 for c in counts[:-1])
+        sim.reset()
+        assert sim.background_slice_names == []
+
+    def test_zero_duration_event_spans_one_slot(self):
+        event = sc.LinkDegradation(at_fraction=0.5,
+                                   duration_fraction=0.0,
+                                   capacity_scale=0.3)
+        horizon = 12
+        start, stop = sc.events.slot_window(
+            event.at_fraction, event.duration_fraction, horizon)
+        assert stop == start + 1  # a window is never empty
+        _, scales = self._drive(
+            (event,),
+            probe=lambda sim: sim.network.fabric.capacity_scale)
+        assert scales[start] == pytest.approx(0.3)
+        assert scales[start - 1] == 1.0
+        assert scales[start + 1] == 1.0
 
 
 class TestTrafficSynthesizerFixes:

@@ -1,0 +1,154 @@
+"""Property-based invariants for serving telemetry merges.
+
+Fleet aggregation folds shard telemetry into a coordinator view in
+whatever order shards happen to finish, possibly tree-wise.  These
+tests pin the algebra that makes that safe: ``Histogram.merge`` /
+``Telemetry.merge`` are order-invariant and associative over
+*randomized* shard splits -- any partition of one observation stream,
+merged in any order or grouping, yields the same aggregate.
+
+Sample values are multiples of 1/64 (exactly representable in binary
+floating point), so sums compare bit-equal across merge orders; with
+arbitrary floats the sums would only agree to rounding, which is a
+float artefact, not a telemetry property.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.telemetry import (
+    EXACT_SAMPLE_LIMIT,
+    Histogram,
+    Telemetry,
+)
+
+
+def exact_values(rng, count):
+    """``count`` non-negative floats on the 1/64 grid (exact sums)."""
+    return (rng.integers(0, 4096, size=count) / 64.0).tolist()
+
+
+def split(rng, values, shards):
+    """Partition ``values`` into ``shards`` (possibly empty) runs."""
+    assignments = rng.integers(0, shards, size=len(values))
+    return [[v for v, a in zip(values, assignments) if a == s]
+            for s in range(shards)]
+
+
+def histogram_of(values, name="h"):
+    histogram = Histogram(name)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def fingerprint(histogram):
+    """Everything a merge must preserve, percentiles included."""
+    return (histogram.count, histogram.total, histogram.mean,
+            histogram.exact,
+            tuple(histogram.percentile(p) for p in (0, 50, 90, 99, 100)))
+
+
+@pytest.mark.parametrize("total,shards", [(40, 2), (96, 5), (300, 7)])
+def test_histogram_merge_order_invariant(total, shards):
+    rng = np.random.default_rng(total * 31 + shards)
+    values = exact_values(rng, total)
+    parts = split(rng, values, shards)
+    reference = histogram_of(values)
+    for trial in range(5):
+        order = rng.permutation(shards)
+        merged = Histogram("h")
+        for index in order:
+            merged.merge(histogram_of(parts[index]))
+        assert fingerprint(merged) == fingerprint(reference)
+
+
+def test_histogram_merge_associative():
+    rng = np.random.default_rng(7)
+    values = exact_values(rng, 120)
+    a, b, c = split(rng, values, 3)
+    left = histogram_of(a).merge(histogram_of(b)).merge(
+        histogram_of(c))
+    right = histogram_of(a).merge(
+        histogram_of(b).merge(histogram_of(c)))
+    assert fingerprint(left) == fingerprint(right)
+
+
+def test_merge_never_mutates_other():
+    rng = np.random.default_rng(11)
+    other = histogram_of(exact_values(rng, 50))
+    before = fingerprint(other)
+    histogram_of(exact_values(rng, 50)).merge(other)
+    assert fingerprint(other) == before
+
+
+@pytest.mark.parametrize("shards", [2, 4, 8])
+def test_bucketed_merge_order_invariant(shards):
+    """Past the exact limit the algebra must hold on the bucket grid."""
+    rng = np.random.default_rng(shards)
+    values = exact_values(rng, EXACT_SAMPLE_LIMIT + 200)
+    parts = split(rng, values, shards)
+    reference = histogram_of(values)
+    assert not reference.exact  # the fold really happened
+    merged = Histogram("h")
+    for index in rng.permutation(shards):
+        merged.merge(histogram_of(parts[index]))
+    assert fingerprint(merged) == fingerprint(reference)
+    # bucket contents agree exactly, not just the percentile readout
+    np.testing.assert_array_equal(merged._buckets,
+                                  reference._buckets)
+
+
+def test_mixed_mode_merge_folds_to_buckets():
+    """exact + exact crossing the limit lands on the shared grid."""
+    rng = np.random.default_rng(3)
+    big = histogram_of(exact_values(rng, EXACT_SAMPLE_LIMIT - 10))
+    small = histogram_of(exact_values(rng, 50))
+    assert big.exact and small.exact
+    big.merge(small)
+    assert not big.exact
+    assert big.count == EXACT_SAMPLE_LIMIT + 40
+
+
+def telemetry_of(rows, name="t"):
+    telemetry = Telemetry()
+    for counter, amount, histogram, value in rows:
+        telemetry.counter(counter).inc(amount)
+        telemetry.histogram(histogram).observe(value)
+    return telemetry
+
+
+def telemetry_fingerprint(telemetry):
+    return (
+        {n: c.value for n, c in telemetry.counters().items()},
+        {n: fingerprint(h) for n, h in telemetry.histograms().items()},
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 3, 6])
+def test_telemetry_merge_order_invariant(shards):
+    rng = np.random.default_rng(100 + shards)
+    rows = [(f"c{int(rng.integers(3))}", float(rng.integers(1, 5)),
+             f"h{int(rng.integers(2))}", value)
+            for value in exact_values(rng, 150)]
+    parts = split(rng, rows, shards)
+    reference = telemetry_of(rows)
+    for trial in range(3):
+        merged = Telemetry()
+        for index in rng.permutation(shards):
+            merged.merge(telemetry_of(parts[index]))
+        assert telemetry_fingerprint(merged) == \
+            telemetry_fingerprint(reference)
+
+
+def test_telemetry_merge_associative():
+    rng = np.random.default_rng(42)
+    rows = [("decisions", 1.0, "latency", value)
+            for value in exact_values(rng, 90)]
+    a, b, c = (telemetry_of(part) for part in split(rng, rows, 3))
+    a2, b2, c2 = (telemetry_of(part) for part in split(
+        np.random.default_rng(42), rows, 3))
+    left = a.merge(b).merge(c)
+    right_inner = b2.merge(c2)
+    right = a2.merge(right_inner)
+    assert telemetry_fingerprint(left) == telemetry_fingerprint(right)
