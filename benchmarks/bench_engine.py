@@ -16,7 +16,12 @@ lands in the benchmark's ``extra_info``, so the JSON trajectory
 records engine throughput over time alongside the artefact timings.
 
 ``REPRO_BENCH_QUICK=1`` shrinks the horizon for CI smoke runs; the
-gate applies either way.
+gates apply either way.
+
+A second test holds the observability layer to its own claim: span
+tracing at the default sampling interval must cost the vector engine
+no more than :data:`MAX_TRACING_OVERHEAD` of its world-slot
+throughput (best-of-2 on both sides to shave scheduler noise).
 """
 
 import dataclasses
@@ -30,6 +35,8 @@ from conftest import run_once
 from repro.config import NUM_ACTIONS
 from repro.engine import ConstantBatchPolicy
 from repro.experiments.harness import make_simulators, run_episodes
+from repro.obs.trace import configure as configure_tracing, \
+    disable as disable_tracing
 from repro.scenarios import get as get_scenario
 
 BATCH = 32
@@ -37,6 +44,9 @@ SLOTS = 24 if os.environ.get("REPRO_BENCH_QUICK") else 96
 
 #: The acceptance gate: vector world-slots/sec over scalar.
 MIN_SPEEDUP = 4.0
+
+#: Max fractional throughput loss from tracing at default sampling.
+MAX_TRACING_OVERHEAD = 0.05
 
 
 def _make_worlds():
@@ -89,3 +99,44 @@ def test_engine_vector_vs_scalar(benchmark):
     print(f"  speedup {speedup:12.1f}x  (gate: >= "
           f"{MIN_SPEEDUP:.0f}x)")
     assert speedup >= MIN_SPEEDUP
+
+
+def test_engine_tracing_overhead(benchmark):
+    """Span tracing at default sampling must be near-free.
+
+    Measures the vector engine untraced and with an in-memory tracer
+    active (no file I/O -- the per-span cost being gated is the
+    aggregation itself), best-of-2 each.  Bit-identical results are
+    asserted too: tracing must never consume RNG or touch kernels.
+    """
+    _drive("vector")                                        # warm-up
+
+    untraced = min(_drive("vector")["elapsed_s"] for _ in range(2))
+    configure_tracing(path=None)
+    try:
+        runs = [run_once(benchmark, _drive, "vector"),
+                _drive("vector")]
+    finally:
+        disable_tracing()
+    traced = min(run["elapsed_s"] for run in runs)
+
+    parity = _drive("vector")
+    assert runs[0]["totals"] == parity["totals"], \
+        "tracing changed engine results"
+
+    world_slots = runs[0]["world_slots"]
+    untraced_rate = world_slots / untraced
+    traced_rate = world_slots / traced
+    overhead = 1.0 - traced_rate / untraced_rate
+    benchmark.extra_info["untraced_world_slots_per_sec"] = \
+        untraced_rate
+    benchmark.extra_info["traced_world_slots_per_sec"] = traced_rate
+    benchmark.extra_info["tracing_overhead_pct"] = 100.0 * overhead
+    print(f"\nTracing overhead at default sampling (B={BATCH}, "
+          f"{SLOTS}-slot episodes):")
+    print(f"  untraced {untraced_rate:12,.0f} world-slots/s")
+    print(f"  traced   {traced_rate:12,.0f} world-slots/s "
+          f"({100.0 * overhead:+.1f}%)")
+    assert overhead <= MAX_TRACING_OVERHEAD, \
+        (f"tracing costs {100.0 * overhead:.1f}% of engine "
+         f"throughput (gate: <= {100.0 * MAX_TRACING_OVERHEAD:.0f}%)")

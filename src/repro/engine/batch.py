@@ -44,6 +44,7 @@ from repro.engine.kernels import (
     evaluate_rows,
     rows_for_network,
 )
+from repro.obs.trace import trace
 from repro.sim.env import ARRIVAL_WINDOW_S, STATE_DIM, ScenarioSimulator
 
 #: Per-world actions for one slot: a mapping ``slice name -> action``
@@ -227,47 +228,59 @@ class BatchSimulator:
         if not stepping:
             raise ValueError("no world to step (all actions None)")
 
-        # 1. events + churn (may consume world RNG; may change layout)
-        states: List[_WorldState] = []
-        for b in stepping:
-            sim = self.sims[b]
-            if sim.done:
-                raise RuntimeError(
-                    f"world {b}: episode finished; call reset_world()")
-            state = self._require_state(b)
-            sim.apply_events()
-            if tuple(sim.network.slice_names) != state.signature:
-                state.rebuild()
-            states.append(state)
+        with trace("engine.step"):
+            # 1. events + churn (may consume world RNG; may change
+            #    layout)
+            with trace("engine.events"):
+                states: List[_WorldState] = []
+                for b in stepping:
+                    sim = self.sims[b]
+                    if sim.done:
+                        raise RuntimeError(
+                            f"world {b}: episode finished; call "
+                            "reset_world()")
+                    state = self._require_state(b)
+                    sim.apply_events()
+                    if tuple(sim.network.slice_names) \
+                            != state.signature:
+                        state.rebuild()
+                    states.append(state)
 
-        # 2. channels (one standard-normal block per channel, exactly
-        #    the scalar step_channels stream)
-        for b in stepping:
-            self.sims[b].network.step_channels()
+            # 2. channels (one standard-normal block per channel,
+            #    exactly the scalar step_channels stream)
+            with trace("engine.channels"):
+                for b in stepping:
+                    self.sims[b].network.step_channels()
 
-        # 3. realised arrivals (one Poisson array draw per world ==
-        #    the scalar per-slice draw sequence)
-        rates_parts = []
-        for state in states:
-            sim = state.sim
-            envelope = state.traces[:, sim._slot]
-            lam = (envelope * state.max_arrival) * ARRIVAL_WINDOW_S
-            counts = sim._rng.poisson(lam)
-            rates_parts.append(counts / ARRIVAL_WINDOW_S)
+            # 3. realised arrivals (one Poisson array draw per world
+            #    == the scalar per-slice draw sequence)
+            with trace("engine.arrivals"):
+                rates_parts = []
+                for state in states:
+                    sim = state.sim
+                    envelope = state.traces[:, sim._slot]
+                    lam = (envelope * state.max_arrival) \
+                        * ARRIVAL_WINDOW_S
+                    counts = sim._rng.poisson(lam)
+                    rates_parts.append(counts / ARRIVAL_WINDOW_S)
 
-        # 4. one kernel evaluation over every row of every world
-        bundle = self._bundle_for(stepping, states)
-        matrix = np.concatenate([
-            state.actions_matrix(actions[b])
-            for b, state in zip(stepping, states)])
-        rates = np.concatenate(rates_parts)
-        cqi, margin = self._gather_channels(states)
-        cond = WorldConditions.from_fabrics(
-            [state.sim.network.fabric for state in states])
-        out = evaluate_rows(bundle, cond, matrix, rates, cqi, margin)
+            # 4. one kernel evaluation over every row of every world
+            with trace("engine.kernel"):
+                bundle = self._bundle_for(stepping, states)
+                matrix = np.concatenate([
+                    state.actions_matrix(actions[b])
+                    for b, state in zip(stepping, states)])
+                rates = np.concatenate(rates_parts)
+                cqi, margin = self._gather_channels(states)
+                cond = WorldConditions.from_fabrics(
+                    [state.sim.network.fabric for state in states])
+                out = evaluate_rows(bundle, cond, matrix, rates, cqi,
+                                    margin)
 
-        # 5. state write-back + stacked managed-row results
-        return self._commit(stepping, states, bundle, out, rates)
+            # 5. state write-back + stacked managed-row results
+            with trace("engine.commit"):
+                return self._commit(stepping, states, bundle, out,
+                                    rates)
 
     def _bundle_for(self, stepping: List[int],
                     states: List[_WorldState]) -> SliceRows:

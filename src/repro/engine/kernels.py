@@ -37,6 +37,7 @@ from repro.config import (
     NUM_ACTIONS,
     USAGE_ACTION_INDICES,
 )
+from repro.obs.profile import begin as _profile_begin
 from repro.sim.phy import MCS_TABLE, NUM_CQI, NUM_MCS
 from repro.sim.queueing import RHO_KNEE
 
@@ -339,7 +340,15 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
     Returns a dict of ``(R,)`` arrays (plus the ``(W, Pmax)`` transport
     ``path_loads`` for state write-back) covering every
     :class:`~repro.sim.network.SlotReport` field.
+
+    Profiling: when a :class:`~repro.obs.profile.KernelProfiler` is
+    active (and samples this call), each kernel-stage boundary below
+    records a lap -- wall time and, optionally, net allocations -- so
+    ``repro obs profile`` can attribute slot cost per kernel.  The
+    laps never touch the arrays, so the parity contract is unaffected;
+    when profiling is off the hook is one module-global read.
     """
+    lap = _profile_begin()
     raw = np.asarray(actions, dtype=np.float64)
     if raw.shape != (rows.num_rows, NUM_ACTIONS):
         raise ValueError(
@@ -362,12 +371,16 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
 
     user_mask = (np.arange(cqi.shape[1])[None, :]
                  < rows.users[:, None])
+    if lap is not None:
+        lap.lap("decode")
 
     # ---- RAN capacities (RadioCell.slice_capacity, vectorised) -------
     ul = _radio_direction(rows, ul_bw, ul_off, ul_sched, cqi,
                           margin_db, user_mask, uplink=True)
     dl = _radio_direction(rows, dl_bw, dl_off, dl_sched, cqi,
                           margin_db, user_mask, uplink=False)
+    if lap is not None:
+        lap.lap("radio")
 
     # ---- transport (TransportFabric reserve + evaluate) --------------
     eff_cap_w = rows.link_capacity_w * cond.capacity_scale
@@ -387,6 +400,8 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
                   + cond.extra_latency_ms[rows.world])
     tn_latency = np.where((tn_cap <= 0) & (offered_bps > 0),
                           np.inf, tn_latency)
+    if lap is not None:
+        lap.lap("transport")
 
     # ---- core (CoreNetwork.set_slice_resources + evaluate) -----------
     per_cpu = np.clip(cpu, 0.0, 1.0) / rows.num_sgwu
@@ -408,6 +423,8 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
             np.inf)
     core_pps = np.where(core_mu > 0, core_mu, 0.0)
     core_util_capped = np.minimum(core_util, 1.0)
+    if lap is not None:
+        lap.lap("core")
 
     # ---- edge (EdgeServerPool.set_resources + evaluate) --------------
     edge_cpu = np.clip(cpu, 0.0, 1.0)
@@ -436,6 +453,8 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
                 edge_util),
             np.where(work_rate > 0, np.inf, 0.0))
     edge_util_capped = np.minimum(edge_util, 1.0)
+    if lap is not None:
+        lap.lap("edge")
 
     # ---- applications (repro.sim.apps, vectorised per app) -----------
     value, satisfaction = _evaluate_apps(
@@ -443,6 +462,8 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
         dl["retx"], tn_cap, tn_latency, core_latency, core_pps,
         edge_latency)
     cost = 1.0 - satisfaction
+    if lap is not None:
+        lap.lap("apps")
 
     # ---- usage + state features --------------------------------------
     usage = np.zeros(rows.num_rows)
@@ -453,6 +474,8 @@ def evaluate_rows(rows: SliceRows, cond: WorldConditions,
     workload = 0.5 * (core_util_capped + edge_util_capped)
     cqi_sum = _seq_user_sum(cqi.astype(np.float64), user_mask)
     channel_quality = (cqi_sum / rows.users) / NUM_CQI
+    if lap is not None:
+        lap.lap("state")
 
     return {
         "value": value,

@@ -19,6 +19,7 @@ from repro.fleet.shard import CellStats, ShardResult
 from repro.fleet.spec import FleetSpec
 from repro.runtime.cache import content_key
 from repro.runtime.serialization import register_dataclass
+from repro.serve.service import DECISION_STAGES
 from repro.serve.telemetry import Telemetry
 
 #: Cells reported as outliers (largest SLA deviation first).
@@ -36,6 +37,28 @@ class ScenarioRow:
     violation_rate: float           # mean over the scenario's cells
     mean_usage: float
     fallback_rate: float
+
+
+@register_dataclass
+@dataclass(frozen=True)
+class StageRow:
+    """Fleet-wide latency of one decision-path stage.
+
+    Built from the merged ``stage_<name>_ms`` histograms every
+    :class:`~repro.serve.service.SlicingService` records per decide
+    call, so the breakdown survives shard fan-in exactly like the
+    decision-latency histogram does.  ``share`` is the stage's
+    fraction of the summed stage time -- where a fleet's decision
+    latency actually goes.
+    """
+
+    stage: str
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    total_ms: float
+    share: float
 
 
 @register_dataclass
@@ -72,6 +95,8 @@ class FleetReport:
     outliers: Tuple[CellOutlier, ...]
     #: Content hash of the deterministic outcome (see module doc).
     digest: str
+    #: Per-stage decision latency (empty for pre-obs checkpoints).
+    stages: Tuple[StageRow, ...] = ()
 
     def row(self) -> Dict[str, object]:
         """Flat summary for CLI/JSON output."""
@@ -161,6 +186,7 @@ def build_report(spec: FleetSpec, snapshot_ref: str,
                     p99_latency_ms=stats.p99_latency_ms)
         for stats in ranked[:OUTLIER_LIMIT])
     latency = telemetry.histogram("decision_latency_ms")
+    stage_rows = _stage_rows(telemetry)
     return FleetReport(
         spec=spec,
         snapshot_ref=snapshot_ref,
@@ -180,7 +206,36 @@ def build_report(spec: FleetSpec, snapshot_ref: str,
                            if wall_time_s > 0 else 0.0),
         scenarios=tuple(scenario_rows),
         outliers=outliers,
-        digest=fleet_digest(spec, snapshot_digest, cells))
+        digest=fleet_digest(spec, snapshot_digest, cells),
+        stages=stage_rows)
+
+
+def _stage_rows(telemetry: Telemetry) -> Tuple[StageRow, ...]:
+    """Per-stage latency rows from the merged ``stage_*_ms``
+    histograms, in decision-pipeline order (then any extra stages
+    alphabetically)."""
+    histograms = telemetry.histograms()
+    names = [name for name in histograms
+             if name.startswith("stage_") and name.endswith("_ms")]
+    if not names:
+        return ()
+    order = {stage: i for i, stage in enumerate(DECISION_STAGES)}
+    stages = sorted((name[len("stage_"):-len("_ms")] for name in names),
+                    key=lambda s: (order.get(s, len(order)), s))
+    total = sum(histograms[f"stage_{stage}_ms"].total
+                for stage in stages)
+    rows = []
+    for stage in stages:
+        histogram = histograms[f"stage_{stage}_ms"]
+        rows.append(StageRow(
+            stage=stage,
+            count=histogram.count,
+            mean_ms=histogram.mean,
+            p50_ms=histogram.percentile(50.0),
+            p99_ms=histogram.percentile(99.0),
+            total_ms=histogram.total,
+            share=histogram.total / total if total else 0.0))
+    return tuple(rows)
 
 
 def format_report(report: FleetReport) -> str:
@@ -211,6 +266,15 @@ def format_report(report: FleetReport) -> str:
             f"{100.0 * row.violation_rate:>9.1f}% "
             f"{100.0 * row.mean_usage:>6.1f}% "
             f"{100.0 * row.fallback_rate:>8.1f}%")
+    if report.stages:
+        lines.append("  -- decision stage latency --")
+        lines.append(f"  {'stage':<12} {'count':>10} {'mean ms':>9} "
+                     f"{'p50 ms':>9} {'p99 ms':>9} {'share':>6}")
+        for stage in report.stages:
+            lines.append(
+                f"  {stage.stage:<12} {stage.count:>10} "
+                f"{stage.mean_ms:>9.4f} {stage.p50_ms:>9.4f} "
+                f"{stage.p99_ms:>9.4f} {100.0 * stage.share:>5.1f}%")
     if report.outliers:
         lines.append("  -- cell outliers (|violation - scenario "
                      "mean|) --")

@@ -23,11 +23,13 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.fleet.spec import CellPlan, FleetSpec
+from repro.obs.trace import configure_from_env, flush as trace_flush, \
+    trace
 from repro.runtime.serialization import register_dataclass
 from repro.scenarios import ScenarioSpec
 from repro.serve.loadgen import LoadGenerator
 from repro.serve.policy_store import PolicySnapshot, PolicyStore
-from repro.serve.telemetry import Histogram, Telemetry
+from repro.serve.telemetry import Histogram, Telemetry, parse_key
 
 
 @register_dataclass
@@ -72,11 +74,11 @@ class ShardResult:
     def telemetry(self) -> Telemetry:
         """Rebuild live instruments from the serialised states."""
         telemetry = Telemetry()
-        for name in sorted(self.counters):
-            telemetry.counter(name).inc(self.counters[name])
-        for name in sorted(self.histograms):
-            telemetry.histogram(name).merge(
-                Histogram.from_state(self.histograms[name]))
+        for key in sorted(self.counters):
+            name, labels = parse_key(key)
+            telemetry.counter(name, labels).inc(self.counters[key])
+        for key in sorted(self.histograms):
+            telemetry.adopt(Histogram.from_state(self.histograms[key]))
         return telemetry
 
 
@@ -163,6 +165,10 @@ def run_fleet_shard(plan: ShardPlan,
     shard of any run.
     """
     start = time.perf_counter()
+    # Worker processes join the trace session here (the coordinator
+    # process configured itself before fanning out); each process
+    # appends to its own file, merged at report time.
+    configure_from_env(label="shard")
     if snapshot is None:
         snapshot = PolicyStore(plan.store_dir).load(plan.snapshot_ref)
     if snapshot.digest != plan.snapshot_digest:
@@ -173,37 +179,47 @@ def run_fleet_shard(plan: ShardPlan,
     if plan.engine not in ("scalar", "vector"):
         raise ValueError(f"unknown engine {plan.engine!r}; "
                          "expected 'scalar' or 'vector'")
-    aggregate = Telemetry()
-    generators = []
-    telemetries = []
-    for cell in plan.cells:
-        scenario = plan.spec.cell_scenario(plan.scenarios[cell.scenario])
-        telemetry = Telemetry()
-        telemetries.append(telemetry)
-        generators.append(LoadGenerator(snapshot, scenario,
-                                        seed=cell.seed,
-                                        telemetry=telemetry))
-    if plan.engine == "vector" and len(generators) > 1:
-        _drive_cells_lockstep(generators, plan.spec.episodes)
-        reports = [generator.finish_run() for generator in generators]
-    else:
-        reports = [generator.run(episodes=plan.spec.episodes)
-                   for generator in generators]
-    rows = []
-    for cell, telemetry, report in zip(plan.cells, telemetries,
-                                       reports):
-        aggregate.merge(telemetry)
-        aggregate.counter("cells").inc()
-        rows.append(CellStats(
-            cell=cell.cell, scenario=cell.scenario, seed=cell.seed,
-            slices=report.slices, episodes=report.episodes,
-            decisions=report.decisions, fallbacks=report.fallbacks,
-            violation_rate=report.violation_rate,
-            mean_usage=report.mean_usage,
-            service_time_s=report.service_time_s,
-            p50_latency_ms=report.p50_latency_ms,
-            p99_latency_ms=report.p99_latency_ms,
-            decision_digest=report.decision_digest))
+    with trace("fleet.shard", shard=plan.shard):
+        aggregate = Telemetry()
+        generators = []
+        telemetries = []
+        for cell in plan.cells:
+            scenario = plan.spec.cell_scenario(
+                plan.scenarios[cell.scenario])
+            telemetry = Telemetry()
+            telemetries.append(telemetry)
+            generators.append(LoadGenerator(
+                snapshot, scenario, seed=cell.seed,
+                telemetry=telemetry,
+                trace_attrs={"cell": cell.cell,
+                             "scenario": cell.scenario}))
+        if plan.engine == "vector" and len(generators) > 1:
+            _drive_cells_lockstep(generators, plan.spec.episodes)
+            reports = [generator.finish_run()
+                       for generator in generators]
+        else:
+            reports = [generator.run(episodes=plan.spec.episodes)
+                       for generator in generators]
+        rows = []
+        for cell, telemetry, report in zip(plan.cells, telemetries,
+                                           reports):
+            aggregate.merge(telemetry)
+            aggregate.counter("cells").inc()
+            rows.append(CellStats(
+                cell=cell.cell, scenario=cell.scenario, seed=cell.seed,
+                slices=report.slices, episodes=report.episodes,
+                decisions=report.decisions,
+                fallbacks=report.fallbacks,
+                violation_rate=report.violation_rate,
+                mean_usage=report.mean_usage,
+                service_time_s=report.service_time_s,
+                p50_latency_ms=report.p50_latency_ms,
+                p99_latency_ms=report.p99_latency_ms,
+                decision_digest=report.decision_digest))
+    # shards run in pool workers that may be reused or killed;
+    # flushing per shard keeps every trace file complete and
+    # delta-consistent regardless
+    trace_flush()
     return ShardResult(
         shard=plan.shard,
         cells=tuple(rows),

@@ -1,0 +1,74 @@
+"""Observability layer: tracing, metrics, profiling, perf trajectory.
+
+One subsystem, four concerns, threaded through every layer of the
+repo:
+
+* :mod:`repro.obs.trace` -- structured spans.  ``trace("name",
+  **attrs)`` is free when tracing is off and aggregates into
+  mergeable cross-process JSONL trace files when on; ``repro obs
+  report`` rolls any set of trace files into one flamegraph-style
+  view with an attributed-span digest that is invariant to fleet
+  shard count.
+* :mod:`repro.obs.metrics` -- the unified metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`, optional
+  labels, JSONL + Prometheus-text export, injectable clock).
+  ``repro.serve.telemetry`` re-exports it unchanged, so existing
+  snapshot keys and fleet merge semantics hold.
+* :mod:`repro.obs.profile` -- opt-in per-kernel wall/alloc sampling
+  hooks inside :func:`repro.engine.kernels.evaluate_rows`;
+  ``repro obs profile`` prints the per-kernel cost breakdown.
+* :mod:`repro.obs.bench` -- the persistent perf trajectory: every
+  bench writes ``BENCH_<name>.json`` through the shared recorder,
+  and ``repro obs compare`` gates regressions against the committed
+  baselines.
+
+Import discipline: this package depends only on the standard library
+and numpy, so every other layer (engine, serve, fleet, runtime) can
+instrument itself without import cycles.
+
+Note: ``repro.obs.trace`` is both a module and, as re-exported here,
+the span *function* -- import the function as ``from repro.obs import
+trace`` or ``from repro.obs.trace import trace``, and the module via
+``from repro.obs import trace as trace_module`` only if you need the
+configure/rollup API wholesale.
+"""
+
+from repro.obs.bench import (
+    compare as compare_bench,
+    load_dir as load_bench_dir,
+    record_result as record_bench_result,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+)
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import (
+    Tracer,
+    configure as configure_tracing,
+    configure_from_env as configure_tracing_from_env,
+    disable as disable_tracing,
+    read_rollup,
+    rollup_digest,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "Telemetry",
+    "Tracer",
+    "compare_bench",
+    "configure_tracing",
+    "configure_tracing_from_env",
+    "disable_tracing",
+    "load_bench_dir",
+    "read_rollup",
+    "record_bench_result",
+    "rollup_digest",
+    "trace",
+]

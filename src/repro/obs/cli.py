@@ -1,0 +1,186 @@
+"""``python -m repro obs ...``: report, compare, profile.
+
+Kept separate from :mod:`repro.runtime.cli` so the top-level parser
+stays light; heavy imports (engine, serve) happen inside the handlers
+that need them.
+
+* ``obs report [paths...]`` -- merge trace files/directories into one
+  flamegraph-style rollup (``--json`` for machine-readable rows plus
+  the attributed-span digest).
+* ``obs compare`` -- diff ``BENCH_*.json`` results against the
+  committed baselines; exits 1 on regression beyond the noise
+  tolerance (the CI ``bench-trajectory`` gate).  ``--update`` copies
+  the current results over the baselines instead.
+* ``obs profile`` -- run one scenario episode under the kernel
+  profiler and print the per-kernel cost breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import List, Optional
+
+
+def add_obs_parser(subparsers) -> None:
+    """Attach the ``obs`` subcommand tree to the root CLI parser."""
+    obs = subparsers.add_parser(
+        "obs", help="observability: trace rollups, perf trajectory, "
+                    "kernel profiles")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_sub.add_parser(
+        "report", help="merge trace files into a flamegraph-style "
+                       "rollup")
+    report.add_argument(
+        "paths", nargs="*", default=None,
+        help="trace files or directories (default: $REPRO_TRACE_DIR "
+             "or .repro_trace)")
+    report.add_argument("--limit", type=int, default=None,
+                        help="show at most N rollup rows")
+    report.add_argument("--json", action="store_true",
+                        help="emit rollup rows + digest as JSON")
+
+    compare = obs_sub.add_parser(
+        "compare", help="diff BENCH_*.json results against the "
+                        "committed baselines")
+    compare.add_argument(
+        "--results", default=None,
+        help="results directory (default: $REPRO_BENCH_DIR or "
+             ".repro_bench)")
+    compare.add_argument(
+        "--baseline", default=None,
+        help="baseline directory (default: benchmarks/baselines)")
+    compare.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative noise tolerance (default: 0.5 = fail beyond "
+             "1.5x baseline)")
+    compare.add_argument(
+        "--floor", type=float, default=None, metavar="SECONDS",
+        help="means below this never regress -- timer noise "
+             "(default: 0.005)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison as JSON")
+    compare.add_argument(
+        "--update", action="store_true",
+        help="copy current results over the baselines instead of "
+             "comparing")
+
+    profile = obs_sub.add_parser(
+        "profile", help="run one scenario episode under the kernel "
+                        "profiler")
+    profile.add_argument("--scenario", default="default",
+                         help="registered scenario name")
+    profile.add_argument("--sample", type=int, default=1,
+                         help="profile every Nth kernel call")
+    profile.add_argument("--alloc", action="store_true",
+                         help="also trace per-kernel allocations "
+                              "(tracemalloc; slow)")
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument("--json", action="store_true")
+
+
+def run_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _run_report(args)
+    if args.obs_command == "compare":
+        return _run_compare(args)
+    if args.obs_command == "profile":
+        return _run_profile(args)
+    raise SystemExit(f"unknown obs command {args.obs_command!r}")
+
+
+def _default_trace_paths() -> List[str]:
+    from repro.obs.trace import ENV_TRACE_DIR
+    return [os.environ.get(ENV_TRACE_DIR) or ".repro_trace"]
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (format_rollup, read_rollup,
+                                 rollup_digest, rollup_rows)
+
+    paths = args.paths or _default_trace_paths()
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"no trace data at: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    rollup = read_rollup(paths)
+    digest = rollup_digest(rollup)
+    if args.json:
+        print(json.dumps({"digest": digest,
+                          "rows": rollup_rows(rollup)}, indent=2))
+    else:
+        print(format_rollup(rollup, limit=args.limit))
+        print(f"\nattributed-span digest: {digest}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    results = args.results or os.environ.get(
+        bench.ENV_BENCH_DIR) or bench.DEFAULT_RESULTS_DIR
+    baseline = args.baseline or bench.DEFAULT_BASELINE_DIR
+    if args.update:
+        current = bench.load_dir(results)
+        if not current:
+            print(f"no BENCH_*.json under {results}", file=sys.stderr)
+            return 2
+        os.makedirs(baseline, exist_ok=True)
+        for name in sorted(current):
+            src = bench.bench_path(results, name)
+            dst = bench.bench_path(baseline, name)
+            shutil.copyfile(src, dst)
+            print(f"baseline updated: {dst}")
+        return 0
+    tolerance = (bench.DEFAULT_TOLERANCE
+                 if args.tolerance is None else args.tolerance)
+    floor = (bench.DEFAULT_FLOOR
+             if args.floor is None else args.floor)
+    report = bench.compare(results, baseline, tolerance=tolerance,
+                           floor=floor)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(bench.format_compare(report))
+    return 1 if report["regressions"] else 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import KernelProfiler, format_profile
+    from repro.experiments.harness import resolve_scenario
+
+    spec = resolve_scenario(args.scenario)
+    if spec is None:
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        return 2
+    import numpy as np
+
+    from repro.sim.env import NUM_ACTIONS
+
+    cfg = spec.build_config(seed=args.seed)
+    simulator = spec.build_simulator(
+        cfg, rng=np.random.default_rng(cfg.seed))
+    profiler = KernelProfiler(sample_interval=args.sample,
+                              alloc=args.alloc)
+    with profiler:
+        simulator.reset()
+        actions = {name: np.full(NUM_ACTIONS, 0.15)
+                   for name in simulator.slice_names}
+        while not simulator.done:
+            simulator.step(actions)
+    rows = profiler.report()
+    if args.json:
+        print(json.dumps({"scenario": spec.name,
+                          "kernel_calls": profiler.calls,
+                          "sample_interval": args.sample,
+                          "rows": rows}, indent=2))
+    else:
+        print(f"scenario {spec.name}: {profiler.calls} kernel calls, "
+              f"sampling 1/{args.sample}")
+        print(format_profile(rows))
+    return 0

@@ -55,6 +55,14 @@ Subcommands
 ``cache``
     Inspect (``info``), drop (``clear``) or size-bound (``prune
     --max-size``) the on-disk result cache.
+``obs report / obs compare / obs profile``
+    Observability tooling: ``report`` rolls merged trace files (from
+    ``REPRO_TRACE_DIR`` or ``fleet run --trace-dir``) into a
+    flamegraph-style span tree with an attributed-span digest;
+    ``compare`` diffs ``BENCH_*.json`` perf results against the
+    committed baselines (non-zero exit on regression); ``profile``
+    runs one scenario episode under the per-kernel profiler and
+    prints where engine time goes.
 
 Examples
 --------
@@ -79,6 +87,10 @@ Examples
     python -m repro fuzz shrink --seed 11 --world 4 \
         --method model_based
     python -m repro fuzz sweep --count 32 --out artefacts/
+    python -m repro fleet run --cells 8 --trace-dir .repro_trace
+    python -m repro obs report .repro_trace
+    python -m repro obs compare --results .repro_bench
+    python -m repro obs profile --scenario flash_crowd --alloc
 """
 
 from __future__ import annotations
@@ -92,6 +104,7 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.cli import add_obs_parser, run_obs
 from repro.runtime.cache import configure_shared_cache
 from repro.runtime.runner import ParallelRunner, default_workers
 from repro.runtime.serialization import to_jsonable
@@ -363,6 +376,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "cells in lockstep, 'scalar' runs "
                                 "them sequentially; results are "
                                 "identical either way")
+    fleet_run.add_argument("--trace-dir", default=None, metavar="DIR",
+                           dest="trace_dir",
+                           help="write obs trace spans (one JSONL "
+                                "file per process) into DIR; inspect "
+                                "with 'python -m repro obs report'")
     fleet_run.add_argument("--json", action="store_true",
                            dest="as_json")
     fleet_report = fleet_sub.add_parser(
@@ -458,6 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prune target, bytes with optional "
                             "K/M/G suffix (e.g. 256M); required for "
                             "'prune'")
+
+    add_obs_parser(sub)
     return parser
 
 
@@ -541,11 +561,14 @@ def _run_serving(args, report_telemetry: bool) -> int:
                            max_decisions=args.decisions)
     telemetry_rows = generator.telemetry.snapshot()
     if args.telemetry_dir:
-        path = os.path.join(
-            args.telemetry_dir,
-            f"{snapshot.name}-{report.scenario}.jsonl")
-        generator.telemetry.export_jsonl(path, run_label=snapshot.ref)
-        print(f"telemetry written to {path}", file=sys.stderr)
+        base = os.path.join(args.telemetry_dir,
+                            f"{snapshot.name}-{report.scenario}")
+        path = generator.telemetry.export_jsonl(
+            base + ".jsonl", run_label=snapshot.ref)
+        prom = generator.telemetry.export_prometheus_file(
+            base + ".prom")
+        print(f"telemetry written to {path} and {prom}",
+              file=sys.stderr)
     if args.as_json:
         payload = {"snapshot": snapshot.ref,
                    "method": snapshot.method,
@@ -670,6 +693,8 @@ def _fleet_json(report, complete: bool = True) -> str:
         "report": report.row(),
         "scenarios": [dataclasses.asdict(row)
                       for row in report.scenarios],
+        "stages": [dataclasses.asdict(row)
+                   for row in report.stages],
         "outliers": [dataclasses.asdict(row)
                      for row in report.outliers],
     }, indent=2)
@@ -734,6 +759,13 @@ def _run_fleet(args) -> int:
         raise SystemExit(str(exc))
     snapshot = _load_serving_snapshot(args.store_dir, args.snapshot)
     shards = parse_workers(args.shards, option="--shards")
+    if args.trace_dir is not None:
+        # the env variable is how shard worker processes inherit the
+        # trace session; the coordinator joins it here too
+        from repro.obs.trace import ENV_TRACE_DIR, configure_from_env
+
+        os.environ[ENV_TRACE_DIR] = args.trace_dir
+        configure_from_env(label="coordinator")
     try:
         report = run_fleet(
             spec, args.store_dir, snapshot_ref=snapshot.ref,
@@ -747,6 +779,13 @@ def _run_fleet(args) -> int:
         # checkpoint I/O (reading an old one or writing the new one):
         # unwritable directory, path through a file, EACCES...
         raise SystemExit(f"checkpoint I/O failed: {exc}")
+    if args.trace_dir is not None:
+        from repro.obs.trace import flush as trace_flush
+
+        trace_flush()
+        print(f"trace spans in {args.trace_dir} (roll up with "
+              f"'python -m repro obs report {args.trace_dir}')",
+              file=sys.stderr)
     print(_fleet_json(report) if args.as_json
           else format_report(report))
     return 0
@@ -880,6 +919,15 @@ def _run_fuzz(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    # REPRO_TRACE_DIR turns on span tracing for any subcommand; a
+    # no-op (and zero per-span cost) when the variable is unset.
+    from repro.obs.trace import configure_from_env
+
+    configure_from_env(label="cli")
+
+    if args.command == "obs":
+        return run_obs(args)
 
     if args.command == "list":
         print(f"{'artefact':<10} {'units':<8} description")

@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.trace import configure_from_env, trace
 from repro.runtime.cache import (
     MISSING,
     ResultCache,
@@ -61,9 +62,25 @@ class RunSummary:
 
 def _worker_init(cache_dir: Optional[str], version: str) -> None:
     """Point the worker's shared cache at the parent's disk store and
-    pin it to the parent's code version so their keys agree."""
+    pin it to the parent's code version so their keys agree.  Workers
+    also join the trace session when ``REPRO_TRACE_DIR`` is set (each
+    writes its own file; the obs reader merges)."""
     configure_shared_cache(cache_dir)
     pin_code_version(version)
+    configure_from_env(label="worker")
+
+
+def _traced_execute(unit: ExperimentUnit) -> Any:
+    """Execute one unit under a ``runtime.unit`` span.
+
+    The span's attribution (method/variant/scenario/seed) makes
+    runner fan-out visible in trace rollups; with tracing off this is
+    :func:`execute_unit` plus one global read.
+    """
+    with trace("runtime.unit", method=unit.method,
+               variant=unit.variant, scenario=unit.scenario,
+               seed=unit.seed):
+        return execute_unit(unit)
 
 
 class ParallelRunner:
@@ -151,10 +168,10 @@ class ParallelRunner:
                 pending.append(i)
         if self.workers == 1 or len(pending) <= 1:
             for i in pending:
-                results[i] = execute_unit(units[i])
+                results[i] = _traced_execute(units[i])
         else:
             pool = self._executor()
-            futures = {i: pool.submit(execute_unit, units[i])
+            futures = {i: pool.submit(_traced_execute, units[i])
                        for i in pending}
             for i, future in futures.items():
                 results[i] = future.result()

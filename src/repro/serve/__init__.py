@@ -44,7 +44,7 @@ from repro.serve.service import (
     DecisionRequest,
     SlicingService,
 )
-from repro.serve.telemetry import Counter, Histogram, Telemetry
+from repro.serve.telemetry import Counter, Gauge, Histogram, Telemetry
 from repro.serve.training import (
     DEFAULT_STORE_DIR,
     resolve_serving_snapshot,
@@ -57,6 +57,7 @@ __all__ = [
     "Counter",
     "Decision",
     "DecisionRequest",
+    "Gauge",
     "Histogram",
     "LoadGenerator",
     "LoadReport",

@@ -93,7 +93,9 @@ class LoadGenerator:
                  seed: Optional[int] = None,
                  batching: bool = True,
                  eta: Optional[float] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 trace_attrs: Optional[Dict[str, object]] = None
+                 ) -> None:
         from repro.experiments.harness import resolve_scenario
 
         spec = resolve_scenario(scenario)
@@ -109,7 +111,8 @@ class LoadGenerator:
             else Telemetry()
         self.service = SlicingService(
             snapshot, cfg=self.cfg, batching=batching, eta=eta,
-            telemetry=self.telemetry, rng_seed=self.seed)
+            telemetry=self.telemetry, rng_seed=self.seed,
+            trace_attrs=trace_attrs)
         self.simulator = self.spec.build_simulator(
             self.cfg, rng=np.random.default_rng(self.cfg.seed))
 

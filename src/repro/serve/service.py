@@ -34,12 +34,19 @@ import numpy as np
 from repro.baselines.model_based import ModelBasedPolicy
 from repro.config import ExperimentConfig, NUM_ACTIONS
 from repro.domains.coordinator import ParameterCoordinator
+from repro.obs.trace import trace
 from repro.rl.cost_estimator import CostToGoEstimator
 from repro.rl.ppo import GaussianActorCritic
 from repro.serve.policy_store import PolicySnapshot
 from repro.serve.telemetry import Telemetry
 from repro.sim.env import STATE_DIM
 from repro.sim.network import CONSTRAINED_RESOURCES
+
+#: Decision-path stages, pipeline order.  Each ``decide()`` call
+#: observes one ``stage_<name>_ms`` histogram sample per stage, so
+#: per-stage latency survives telemetry merges all the way up to the
+#: fleet report.
+DECISION_STAGES = ("assemble", "forward", "fallback", "coordinate")
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,10 @@ class SlicingService:
     batching:
         When False every request runs through the single-state path --
         the reference the batched path is benchmarked against.
+    trace_attrs:
+        Attributes stamped onto every span this service emits (the
+        fleet layer passes ``cell``/``scenario`` so traces attribute
+        per cell); ignored while tracing is off.
     """
 
     def __init__(self, snapshot: PolicySnapshot,
@@ -125,7 +136,9 @@ class SlicingService:
                  telemetry: Optional[Telemetry] = None,
                  max_coordination_rounds: int = 8,
                  tolerance: float = 1e-3,
-                 rng_seed: Optional[int] = None) -> None:
+                 rng_seed: Optional[int] = None,
+                 trace_attrs: Optional[Mapping[str, object]] = None
+                 ) -> None:
         self.snapshot = snapshot
         self.cfg = cfg if cfg is not None else snapshot.config
         self.eta = eta if eta is not None \
@@ -141,6 +154,7 @@ class SlicingService:
             step_size=self.cfg.agent.modifier.coordinator_step_size)
         self._max_rounds = max_coordination_rounds
         self._tolerance = tolerance
+        self._trace_attrs = dict(trace_attrs or {})
         self._policies: Dict[str, _LearnedPolicy] = {}
         if snapshot.method in ("onslicing", "onrl"):
             for name, payload in snapshot.policies.items():
@@ -219,16 +233,24 @@ class SlicingService:
         if not requests:
             return {}
         start = time.perf_counter()
-        proposed = (self._decide_batched(requests) if self.batching
-                    else self._decide_unbatched(requests))
-        actions = {name: action
-                   for name, (action, _, _) in proposed.items()}
-        coordinated, rounds, projected = self._coordinate(actions)
-        decisions = {
-            name: Decision(slice_name=name, action=coordinated[name],
-                           fallback=fallback, policy=policy)
-            for name, (_, fallback, policy) in proposed.items()
-        }
+        stages = dict.fromkeys(DECISION_STAGES, 0.0)
+        with trace("serve.decide", **self._trace_attrs):
+            proposed = (self._decide_batched(requests, stages)
+                        if self.batching
+                        else self._decide_unbatched(requests, stages))
+            actions = {name: action
+                       for name, (action, _, _) in proposed.items()}
+            t0 = time.perf_counter()
+            with trace("serve.coordinate", **self._trace_attrs):
+                coordinated, rounds, projected = \
+                    self._coordinate(actions)
+            stages["coordinate"] = time.perf_counter() - t0
+            decisions = {
+                name: Decision(slice_name=name,
+                               action=coordinated[name],
+                               fallback=fallback, policy=policy)
+                for name, (_, fallback, policy) in proposed.items()
+            }
         elapsed_ms = (time.perf_counter() - start) * 1e3
         tel = self.telemetry
         tel.counter("decisions").inc(len(requests))
@@ -242,6 +264,8 @@ class SlicingService:
         tel.histogram("decision_latency_ms").observe(
             elapsed_ms / len(requests))
         tel.histogram("coordination_rounds").observe(rounds)
+        for stage, seconds in stages.items():
+            tel.histogram(f"stage_{stage}_ms").observe(seconds * 1e3)
         return decisions
 
     def decide_one(self, request: DecisionRequest) -> Decision:
@@ -258,65 +282,94 @@ class SlicingService:
                 f"({STATE_DIM},), got {state.shape}")
         return state
 
-    def _decide_batched(self, requests: Sequence[DecisionRequest]
+    def _decide_batched(self, requests: Sequence[DecisionRequest],
+                        stages: Dict[str, float]
                         ) -> Dict[str, Tuple[np.ndarray, bool, str]]:
         """Group requests by snapshot policy; one forward per group.
 
         Returns pre-coordination ``(action, fallback, policy key)``
         per slice; :meth:`decide` coordinates and wraps the results.
+        ``stages`` accumulates per-stage seconds: validation, routing
+        and table-policy reads count as *assemble*, the vectorised
+        pi_theta pass as *forward*, Eq. 8 plus pi_b substitution as
+        *fallback*.
         """
         groups: Dict[str, List[Tuple[str, np.ndarray]]] = {}
         proposed: Dict[str, Tuple[np.ndarray, bool, str]] = {}
-        for request in requests:
-            state = self._validated_state(request)
-            key, table_policy = self._routes[request.slice_name]
-            if table_policy is not None:
-                # rule-based / analytic policies have no network to
-                # batch; they are per-request table reads or solves
-                proposed[request.slice_name] = (
-                    np.asarray(table_policy.act_vector(state),
-                               dtype=float), False, key)
-            else:
-                groups.setdefault(key, []).append(
-                    (request.slice_name, state))
+        t0 = time.perf_counter()
+        with trace("serve.assemble", **self._trace_attrs):
+            for request in requests:
+                state = self._validated_state(request)
+                key, table_policy = self._routes[request.slice_name]
+                if table_policy is not None:
+                    # rule-based / analytic policies have no network to
+                    # batch; they are per-request table reads or solves
+                    proposed[request.slice_name] = (
+                        np.asarray(table_policy.act_vector(state),
+                                   dtype=float), False, key)
+                else:
+                    groups.setdefault(key, []).append(
+                        (request.slice_name, state))
+        stages["assemble"] += time.perf_counter() - t0
         for key, entries in groups.items():
+            t0 = time.perf_counter()
             policy = self._policies[key]
             states = np.stack([state for _, state in entries])
-            actions = policy.actions(states)
-            flags = self._fallback_flags(policy, states)
-            for i, (name, state) in enumerate(entries):
-                fallback = name in self._switched or bool(flags[i])
-                if fallback:
-                    self._switched.add(name)
-                    action = np.asarray(
-                        policy.baseline.act_vector(state), dtype=float)
-                else:
-                    action = actions[i]
-                proposed[name] = (action, fallback, key)
+            with trace("serve.forward", **self._trace_attrs):
+                actions = policy.actions(states)
+            t1 = time.perf_counter()
+            with trace("serve.fallback", **self._trace_attrs):
+                flags = self._fallback_flags(policy, states)
+                for i, (name, state) in enumerate(entries):
+                    fallback = name in self._switched or bool(flags[i])
+                    if fallback:
+                        self._switched.add(name)
+                        action = np.asarray(
+                            policy.baseline.act_vector(state),
+                            dtype=float)
+                    else:
+                        action = actions[i]
+                    proposed[name] = (action, fallback, key)
+            t2 = time.perf_counter()
+            stages["forward"] += t1 - t0
+            stages["fallback"] += t2 - t1
         return proposed
 
-    def _decide_unbatched(self, requests: Sequence[DecisionRequest]
+    def _decide_unbatched(self, requests: Sequence[DecisionRequest],
+                          stages: Dict[str, float]
                           ) -> Dict[str, Tuple[np.ndarray, bool, str]]:
-        """Reference path: every request runs alone (no batching)."""
+        """Reference path: every request runs alone (no batching).
+
+        Stage attribution mirrors :meth:`_decide_batched` so the two
+        paths' ``stage_*_ms`` histograms are comparable.
+        """
         proposed: Dict[str, Tuple[np.ndarray, bool, str]] = {}
         for request in requests:
+            t0 = time.perf_counter()
             state = self._validated_state(request)
             key, table_policy = self._routes[request.slice_name]
             if table_policy is not None:
                 proposed[request.slice_name] = (
                     np.asarray(table_policy.act_vector(state),
                                dtype=float), False, key)
+                stages["assemble"] += time.perf_counter() - t0
                 continue
             policy = self._policies[key]
             single = state[None, :]
+            t1 = time.perf_counter()
             action = policy.actions(single)[0]
+            t2 = time.perf_counter()
             fallback = (request.slice_name in self._switched
                         or bool(self._fallback_flags(policy, single)[0]))
             if fallback:
                 self._switched.add(request.slice_name)
                 action = np.asarray(policy.baseline.act_vector(state),
                                     dtype=float)
+            t3 = time.perf_counter()
             proposed[request.slice_name] = (action, fallback, key)
+            stages["assemble"] += t1 - t0
+            stages["forward"] += t2 - t1
+            stages["fallback"] += t3 - t2
         return proposed
 
     def _fallback_flags(self, policy: _LearnedPolicy,

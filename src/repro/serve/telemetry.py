@@ -1,315 +1,40 @@
-"""Lightweight serving telemetry: counters, histograms, JSONL export.
+"""Serving telemetry -- now a re-export of :mod:`repro.obs.metrics`.
 
-The decision service and load generator record what production ops
-would scrape -- decisions served, batch sizes, fallback routings,
-coordination rounds, per-decision latency -- without pulling in a
-metrics dependency.  A :class:`Telemetry` registry hands out named
-:class:`Counter` and :class:`Histogram` instruments and exports one
-JSON object per instrument to a JSONL file, so serve runs produce
-inspectable artefacts exactly like the experiment runtime does.
-
-Every instrument is *mergeable*: a fleet shard aggregates its cells'
-telemetry locally, ships a compact serialisable state to the
-coordinator, and the coordinator folds shard states into one fleet
-view (:meth:`Counter.merge`, :meth:`Histogram.merge`,
-:meth:`Telemetry.merge`) -- the memory cost of the aggregate is
-bounded by the instrument count, never by the observation count.
+The counters/histograms that started here grew into the unified
+metrics registry of the observability layer (gauges, labeled
+instruments, Prometheus-text export, injectable clocks).  This module
+stays as the serve-facing alias so every existing import path,
+snapshot key, checkpoint state and fleet merge semantic is unchanged;
+new code should import :mod:`repro.obs.metrics` directly.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (  # noqa: F401
+    BUCKET_COUNT,
+    BUCKET_FACTOR,
+    BUCKET_MIN,
+    EXACT_SAMPLE_LIMIT,
+    EXPORT_PERCENTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+    _EDGES,
+    _bucket_index,
+    _bucketize,
+    instrument_key,
+    parse_key,
+)
 
-import json
-import os
-import time
-from typing import Dict, List, Optional
-
-import numpy as np
-
-#: Percentiles exported for every histogram.
-EXPORT_PERCENTILES = (50.0, 90.0, 99.0)
-
-#: Exact-mode capacity: a histogram keeps raw samples (exact
-#: percentiles) until it has seen this many observations, then folds
-#: them into the fixed bucket grid and stays bounded forever after.
-EXACT_SAMPLE_LIMIT = 1024
-
-#: Fixed log-spaced bucket grid shared by *every* histogram, so any
-#: two histograms merge bucket-for-bucket.  2**0.25 growth gives a
-#: worst-case relative quantile error of ~9%; the span covers
-#: sub-microsecond latencies up to ~1e9 (counts, byte totals).
-BUCKET_FACTOR = 2.0 ** 0.25
-BUCKET_MIN = 1e-6
-_DECADES = np.log(1e9 / BUCKET_MIN)
-BUCKET_COUNT = int(np.ceil(_DECADES / np.log(BUCKET_FACTOR)))
-#: Bucket ``i`` (1-based in the counts array) covers
-#: ``[_EDGES[i-1], _EDGES[i])``; counts[0] is the underflow bucket
-#: (values below ``BUCKET_MIN``, zeros included), counts[-1] overflow.
-_EDGES = BUCKET_MIN * BUCKET_FACTOR ** np.arange(BUCKET_COUNT + 1)
-
-
-class Counter:
-    """A monotonically increasing named count."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError("counters only increase")
-        self.value += amount
-
-    def merge(self, other: "Counter") -> "Counter":
-        """Fold another counter's total into this one."""
-        self.inc(other.value)
-        return self
-
-    def snapshot(self) -> Dict[str, object]:
-        return {"metric": self.name, "type": "counter",
-                "value": self.value}
-
-
-class Histogram:
-    """Bounded, mergeable histogram with percentile readout.
-
-    Small samples stay *exact*: observations are kept verbatim (and
-    percentiles computed from them) until :data:`EXACT_SAMPLE_LIMIT`,
-    the regime every single-cell serve run lives in.  Past the limit
-    the samples fold into the fixed log-spaced bucket grid and memory
-    stays O(buckets) no matter how many observations follow -- the
-    regime a fleet aggregate lives in.  ``count``/``sum``/``min``/
-    ``max`` are tracked exactly in both modes; bucket-mode percentiles
-    are geometric interpolations within one bucket (<= ~9% relative
-    error by construction).
-
-    Snapshot keys are unchanged from the exact-only implementation
-    (``count``/``sum``/``mean``/``p50``/``p90``/``p99``); ``mode`` is
-    additive.
-    """
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
-        #: Raw samples while exact; ``None`` once folded into buckets.
-        self._samples: Optional[List[float]] = []
-        self._buckets: Optional[np.ndarray] = None
-
-    # ---- recording ---------------------------------------------------
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        self._count += 1
-        self._sum += value
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        if self._samples is not None:
-            self._samples.append(value)
-            if len(self._samples) > EXACT_SAMPLE_LIMIT:
-                self._fold()
-        else:
-            self._buckets[_bucket_index(value)] += 1
-
-    def _fold(self) -> None:
-        """Switch from exact samples to the bounded bucket grid."""
-        self._buckets = _bucketize(self._samples)
-        self._samples = None
-
-    # ---- reading -----------------------------------------------------
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def total(self) -> float:
-        return self._sum
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    @property
-    def exact(self) -> bool:
-        """Whether percentiles are still computed from raw samples."""
-        return self._samples is not None
-
-    def percentile(self, p: float) -> float:
-        """Percentile ``p`` in [0, 100] (0.0 when empty).
-
-        Exact in exact mode; bucket-interpolated (then clipped to the
-        observed [min, max]) once folded.
-        """
-        if self._count == 0:
-            return 0.0
-        if self._samples is not None:
-            return float(np.percentile(np.asarray(self._samples), p))
-        target = (p / 100.0) * self._count
-        cumulative = np.cumsum(self._buckets)
-        index = int(np.searchsorted(cumulative, max(target, 1.0)))
-        index = min(index, len(self._buckets) - 1)
-        below = cumulative[index - 1] if index > 0 else 0
-        inside = self._buckets[index]
-        frac = ((target - below) / inside) if inside else 0.0
-        frac = min(max(frac, 0.0), 1.0)
-        if index == 0:                     # underflow: [<=0, BUCKET_MIN)
-            low, high = min(self._min, 0.0), BUCKET_MIN
-            value = low + frac * (high - low)
-        elif index == len(self._buckets) - 1:   # overflow bucket
-            value = self._max
-        else:
-            low, high = _EDGES[index - 1], _EDGES[index]
-            value = low * (high / low) ** frac  # geometric within bucket
-        return float(min(max(value, self._min), self._max))
-
-    def snapshot(self) -> Dict[str, object]:
-        out: Dict[str, object] = {
-            "metric": self.name, "type": "histogram",
-            "count": self.count, "sum": self.total, "mean": self.mean,
-            "mode": "exact" if self.exact else "bucketed",
-        }
-        for p in EXPORT_PERCENTILES:
-            out[f"p{p:g}"] = self.percentile(p)
-        return out
-
-    # ---- merging / serialisation -------------------------------------
-
-    def merge(self, other: "Histogram") -> "Histogram":
-        """Fold ``other``'s observations into this histogram.
-
-        ``other`` is never mutated.  Merging is commutative and
-        associative up to bucket resolution: two exact histograms stay
-        exact while the combined sample count fits the exact limit,
-        otherwise the merge lands on the shared bucket grid.
-        """
-        if other._count == 0:
-            return self
-        if (self._samples is not None and other._samples is not None
-                and self._count + other._count <= EXACT_SAMPLE_LIMIT):
-            self._samples.extend(other._samples)
-        else:
-            if self._samples is not None:
-                self._fold()
-            self._buckets = self._buckets + (
-                other._buckets if other._buckets is not None
-                else _bucketize(other._samples))
-        self._count += other._count
-        self._sum += other._sum
-        self._min = min(self._min, other._min)
-        self._max = max(self._max, other._max)
-        return self
-
-    def state(self) -> Dict[str, object]:
-        """JSON-safe state for checkpointing / shard-to-coordinator
-        shipping (inverse: :meth:`from_state`)."""
-        out: Dict[str, object] = {
-            "name": self.name, "count": self._count, "sum": self._sum,
-        }
-        if self._count:
-            out["min"], out["max"] = self._min, self._max
-        if self._samples is not None:
-            out["samples"] = list(self._samples)
-        else:
-            out["buckets"] = self._buckets.tolist()
-        return out
-
-    @classmethod
-    def from_state(cls, state: Dict[str, object]) -> "Histogram":
-        histogram = cls(str(state["name"]))
-        histogram._count = int(state["count"])
-        histogram._sum = float(state["sum"])
-        histogram._min = float(state.get("min", float("inf")))
-        histogram._max = float(state.get("max", float("-inf")))
-        if "samples" in state:
-            histogram._samples = [float(v) for v in state["samples"]]
-        else:
-            histogram._samples = None
-            buckets = np.asarray(state["buckets"], dtype=np.int64)
-            if buckets.shape != (BUCKET_COUNT + 2,):
-                raise ValueError(
-                    f"histogram state for {histogram.name!r} has "
-                    f"{buckets.shape[0]} buckets, expected "
-                    f"{BUCKET_COUNT + 2} (incompatible grid)")
-            histogram._buckets = buckets
-        return histogram
-
-
-def _bucket_index(value: float) -> int:
-    """Counts-array index for ``value`` (0 underflow, -1 overflow)."""
-    if value < BUCKET_MIN:
-        return 0
-    if value >= _EDGES[-1]:
-        return BUCKET_COUNT + 1
-    return int(np.searchsorted(_EDGES, value, side="right"))
-
-
-def _bucketize(samples: List[float]) -> np.ndarray:
-    """Fold raw samples onto the shared grid (underflow+grid+overflow)."""
-    counts = np.zeros(BUCKET_COUNT + 2, dtype=np.int64)
-    if samples:
-        values = np.asarray(samples, dtype=float)
-        indices = np.searchsorted(_EDGES, values, side="right")
-        indices[values < BUCKET_MIN] = 0
-        indices[values >= _EDGES[-1]] = BUCKET_COUNT + 1
-        np.add.at(counts, indices, 1)
-    return counts
-
-
-class Telemetry:
-    """Registry of named instruments for one service/loadgen run."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        if name in self._histograms:
-            raise ValueError(f"{name!r} is already a histogram")
-        return self._counters.setdefault(name, Counter(name))
-
-    def histogram(self, name: str) -> Histogram:
-        if name in self._counters:
-            raise ValueError(f"{name!r} is already a counter")
-        return self._histograms.setdefault(name, Histogram(name))
-
-    def counters(self) -> Dict[str, Counter]:
-        """Name -> counter, in insertion order (live objects)."""
-        return dict(self._counters)
-
-    def histograms(self) -> Dict[str, Histogram]:
-        """Name -> histogram, in insertion order (live objects)."""
-        return dict(self._histograms)
-
-    def merge(self, other: "Telemetry") -> "Telemetry":
-        """Fold every instrument of ``other`` into this registry --
-        the coordinator side of shard aggregation."""
-        for name, counter in other._counters.items():
-            self.counter(name).merge(counter)
-        for name, histogram in other._histograms.items():
-            self.histogram(name).merge(histogram)
-        return self
-
-    def snapshot(self) -> List[Dict[str, object]]:
-        """Every instrument's current reading, counters first."""
-        rows = [c.snapshot() for _, c in sorted(self._counters.items())]
-        rows += [h.snapshot() for _, h in sorted(self._histograms.items())]
-        return rows
-
-    def export_jsonl(self, path: str,
-                     run_label: Optional[str] = None) -> str:
-        """Write one JSON object per instrument to ``path`` (JSONL).
-
-        Parent directories are created; the file is overwritten (one
-        file per run -- label runs via the filename or ``run_label``).
-        """
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        stamp = time.time()
-        with open(path, "w", encoding="utf-8") as fh:
-            for row in self.snapshot():
-                if run_label is not None:
-                    row = {"run": run_label, **row}
-                fh.write(json.dumps({**row, "unix_time": stamp}) + "\n")
-        return path
+__all__ = [
+    "BUCKET_COUNT",
+    "BUCKET_FACTOR",
+    "BUCKET_MIN",
+    "EXACT_SAMPLE_LIMIT",
+    "EXPORT_PERCENTILES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Telemetry",
+    "instrument_key",
+    "parse_key",
+]

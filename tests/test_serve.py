@@ -504,10 +504,13 @@ class TestServeCli:
                      "--telemetry-dir", telemetry_dir]) == 0
         out = capsys.readouterr().out
         assert "decision latency" in out and "throughput" in out
-        exported = list((tmp_path / "telemetry").iterdir())
-        assert len(exported) == 1
+        exported = sorted((tmp_path / "telemetry").iterdir(),
+                          key=lambda p: p.suffix)
+        assert [p.suffix for p in exported] == [".jsonl", ".prom"]
         rows = [json.loads(line) for line in open(exported[0])]
         assert any(row["metric"] == "decisions" for row in rows)
+        prom = exported[1].read_text()
+        assert "# TYPE decisions_total counter" in prom
 
     def test_loadgen_rejects_unknown(self, tmp_path):
         store_dir = str(tmp_path / "policies")

@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.serve.telemetry import (
+    BUCKET_MIN,
     EXACT_SAMPLE_LIMIT,
     Histogram,
     Telemetry,
@@ -108,6 +109,80 @@ def test_mixed_mode_merge_folds_to_buckets():
     big.merge(small)
     assert not big.exact
     assert big.count == EXACT_SAMPLE_LIMIT + 40
+
+
+def test_fold_happens_exactly_past_the_limit():
+    """Exactly ``EXACT_SAMPLE_LIMIT`` observations stay exact; the
+    next one crosses into bucketed mode with nothing lost."""
+    rng = np.random.default_rng(9)
+    values = exact_values(rng, EXACT_SAMPLE_LIMIT)
+    histogram = histogram_of(values)
+    assert histogram.exact
+    assert histogram.count == EXACT_SAMPLE_LIMIT
+    exact_p50 = histogram.percentile(50.0)
+    histogram.observe(values[0])
+    assert not histogram.exact
+    assert histogram.count == EXACT_SAMPLE_LIMIT + 1
+    assert histogram.total == pytest.approx(sum(values) + values[0])
+    # bucket-mode percentile stays within the grid's ~9% relative
+    # error of the exact readout
+    if exact_p50 > 0:
+        assert histogram.percentile(50.0) == \
+            pytest.approx(exact_p50, rel=0.1)
+
+
+def test_bucketed_underflow_percentiles():
+    """Sub-``BUCKET_MIN`` values (zeros included) land in the
+    underflow bucket and still read out inside [min, max]."""
+    histogram = Histogram("lat")
+    tiny = [0.0, 1e-9, 1e-8] * ((EXACT_SAMPLE_LIMIT // 3) + 1)
+    for value in tiny:
+        histogram.observe(value)
+    assert not histogram.exact
+    for p in (0.0, 50.0, 99.0, 100.0):
+        value = histogram.percentile(p)
+        assert 0.0 <= value <= 1e-8
+    # a lone large value keeps the high percentiles honest; the
+    # median interpolates inside the underflow bucket [0, BUCKET_MIN)
+    histogram.observe(4.0)
+    assert histogram.percentile(100.0) == 4.0
+    assert histogram.percentile(50.0) < BUCKET_MIN
+
+
+def test_bucketed_overflow_percentiles():
+    """Beyond-grid values land in the overflow bucket; percentiles
+    that fall there report the observed max, never an edge value."""
+    histogram = Histogram("bytes")
+    for _ in range(EXACT_SAMPLE_LIMIT + 10):
+        histogram.observe(1.0)
+    histogram.observe(3.5e12)                      # >> grid top (~1e9)
+    histogram.observe(7.0e12)
+    assert not histogram.exact
+    assert histogram.percentile(100.0) == 7.0e12
+    assert histogram.percentile(50.0) == pytest.approx(1.0, rel=0.1)
+
+
+def test_merge_exact_into_bucketed_and_back():
+    """Merging across modes (either direction) buckets the result and
+    preserves count/total/min/max exactly."""
+    rng = np.random.default_rng(21)
+    values = exact_values(rng, EXACT_SAMPLE_LIMIT + 200)
+    bucketed = histogram_of(values)
+    assert not bucketed.exact
+    extra = exact_values(rng, 30)
+    exact = histogram_of(extra)
+    assert exact.exact
+
+    folded = histogram_of(values).merge(exact)     # bucketed <- exact
+    assert not folded.exact
+    assert folded.count == len(values) + len(extra)
+    assert folded.total == sum(values) + sum(extra)
+
+    other = histogram_of(extra).merge(bucketed)    # exact <- bucketed
+    assert not other.exact
+    assert (other.count, other.total) == (folded.count, folded.total)
+    assert other.percentile(50.0) == \
+        pytest.approx(folded.percentile(50.0), rel=1e-9)
 
 
 def telemetry_of(rows, name="t"):
