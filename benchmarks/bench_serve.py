@@ -29,14 +29,22 @@ SLOTS = 40
 MIN_SPEEDUP = 3.0
 
 
-def _make_service(batching: bool) -> SlicingService:
+#: SLO-evaluation overhead gate: streaming burn-rate evaluation at an
+#: every-batch cadence (64x denser than the service default) must not
+#: cost more than 5% of serving throughput.
+MAX_SLO_OVERHEAD = 0.05
+
+
+def _make_service(batching: bool, slo=None,
+                  slo_every: int = 64) -> SlicingService:
     base_cfg = get_scenario("default").build_config()
     snapshot = snapshot_onrl(
         "bench-serve", base_cfg,
         make_onrl_agents(base_cfg, seed=11), seed=11)
     target = scenario_with_population(get_scenario("default"), SLICES)
     return SlicingService(snapshot, cfg=target.build_config(),
-                          batching=batching, rng_seed=0)
+                          batching=batching, rng_seed=0,
+                          slo=slo, slo_every=slo_every)
 
 
 def _make_requests(service: SlicingService):
@@ -87,3 +95,65 @@ def test_serve_batched_vs_unbatched(benchmark):
         np.testing.assert_allclose(batched_d[name].action,
                                    unbatched_d[name].action,
                                    atol=1e-9)
+
+
+def test_serve_slo_overhead(benchmark):
+    """Streaming SLO evaluation must be near-free for the service.
+
+    Drives identical request streams through a plain service and one
+    with a :class:`~repro.obs.slo.SloEvaluator` re-reading the
+    registry after *every* decision batch (``slo_every=1``, 64x the
+    default cadence), best-of-2 each.  The guarded spec points every
+    objective kind at instruments the service actually populates
+    (histogram ``count_over`` deltas included), so the gate measures
+    real evaluation work, not missing-instrument early-outs.
+    Decision parity is asserted too: evaluation only reads telemetry
+    and must never consume service RNG.
+    """
+    from repro.obs.slo import SloEvaluator, SloObjective, SloSpec
+
+    spec = SloSpec(name="bench-guard", objectives=(
+        SloObjective(name="batch-latency-p99", kind="latency",
+                     instrument="batch_latency_ms", budget_ms=1.0,
+                     fast_window=8.0, slow_window=24.0),
+        SloObjective(name="fallback-rate", kind="ratio",
+                     instrument="fallbacks", total="decisions",
+                     ceiling=0.5, fast_window=8.0, slow_window=24.0),
+        SloObjective(name="mean-coordinate-ms", kind="mean",
+                     instrument="stage_coordinate_ms", ceiling=100.0,
+                     fast_window=8.0, slow_window=24.0),
+    ))
+    plain = _make_service(batching=True)
+    guarded = _make_service(batching=True, slo=SloEvaluator(spec),
+                            slo_every=1)
+    slots = _make_requests(plain)
+    _drive(plain, slots[:1])                              # warm-up
+    _drive(guarded, slots[:1])
+
+    plain_s = min(_drive(plain, slots) for _ in range(2))
+    guarded_s = min((run_once(benchmark, _drive, guarded, slots),
+                     _drive(guarded, slots)))
+
+    sample = slots[0]
+    plain_d = plain.decide(sample)
+    guarded_d = guarded.decide(sample)
+    for name in plain_d:
+        np.testing.assert_allclose(plain_d[name].action,
+                                   guarded_d[name].action,
+                                   atol=1e-9)
+
+    decisions = SLOTS * SLICES
+    plain_rate = decisions / plain_s
+    guarded_rate = decisions / guarded_s
+    overhead = 1.0 - guarded_rate / plain_rate
+    benchmark.extra_info["plain_decisions_per_sec"] = plain_rate
+    benchmark.extra_info["guarded_decisions_per_sec"] = guarded_rate
+    benchmark.extra_info["slo_overhead_pct"] = 100.0 * overhead
+    print(f"\nSLO evaluation overhead at slo_every=1 "
+          f"({SLICES} slices, {SLOTS} slots):")
+    print(f"  plain    {plain_rate:12,.0f} decisions/s")
+    print(f"  guarded  {guarded_rate:12,.0f} decisions/s "
+          f"({100.0 * overhead:+.1f}%)")
+    assert overhead <= MAX_SLO_OVERHEAD, \
+        (f"slo evaluation costs {100.0 * overhead:.1f}% of serving "
+         f"throughput (gate: <= {100.0 * MAX_SLO_OVERHEAD:.0f}%)")

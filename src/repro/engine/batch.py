@@ -70,6 +70,11 @@ class BatchStepResult:
     rewards: np.ndarray               # (R,) = -usage, paper Eq. 9
     costs: np.ndarray                 # (R,) paper Eq. 10
     usages: np.ndarray                # (R,)
+    #: (R,) simulated end-to-end latency in ms (transport + core +
+    #: edge, summed in that order -- bit-identical to the scalar
+    #: path's SlotReport components), the deterministic latency
+    #: signal SLO evaluation runs on.
+    latencies: np.ndarray
     dones: List[bool]                 # per stepped world
 
     def rows_of(self, world: int) -> slice:
@@ -313,6 +318,9 @@ class BatchSimulator:
         managed = np.concatenate([state.managed for state in states])
         costs = out["cost"][managed]
         usages = out["usage"][managed]
+        latencies = (out["transport_latency_ms"]
+                     + out["core_latency_ms"]
+                     + out["edge_latency_ms"])[managed]
         obs = np.empty((int(managed.sum()), STATE_DIM))
 
         sizes = [int(state.managed.sum()) for state in states]
@@ -360,5 +368,6 @@ class BatchSimulator:
             rewards=-usages,
             costs=costs,
             usages=usages,
+            latencies=latencies,
             dones=dones,
         )

@@ -16,7 +16,8 @@ per-shard :class:`~repro.serve.service.SlicingService` instances.
 * :mod:`repro.fleet.shard` -- :func:`run_fleet_shard`: one worker's
   cells, merged into O(instruments) mergeable telemetry;
 * :mod:`repro.fleet.coordinator` -- :func:`run_fleet`: shard fan-out,
-  streaming O(shards) aggregation, JSONL checkpoints and resume;
+  streaming O(shards) aggregation, JSONL checkpoints and resume, and
+  deterministic per-checkpoint SLO evaluation (``--slo``);
 * :mod:`repro.fleet.report` -- :class:`FleetReport`: fleet p50/p99
   latency, the per-scenario SLA table, per-cell outliers, and a
   deterministic report digest (resume-safe by construction).
@@ -27,6 +28,8 @@ CLI: ``python -m repro fleet run --cells 32`` / ``fleet report``;
 
 from repro.fleet.coordinator import (
     FleetCheckpoint,
+    FleetSloBreach,
+    evaluate_checkpoint_slo,
     load_checkpoint,
     plan_shards,
     report_from_checkpoint,
@@ -54,12 +57,14 @@ __all__ = [
     "CellStats",
     "FleetCheckpoint",
     "FleetReport",
+    "FleetSloBreach",
     "FleetSpec",
     "ScenarioRow",
     "ShardPlan",
     "ShardResult",
     "build_report",
     "derive_cell_seed",
+    "evaluate_checkpoint_slo",
     "fleet_digest",
     "format_report",
     "load_checkpoint",

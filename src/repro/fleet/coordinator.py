@@ -29,9 +29,11 @@ from typing import Callable, Dict, List, Optional
 from repro.fleet.report import FleetReport, build_report
 from repro.fleet.shard import ShardPlan, ShardResult, run_fleet_shard
 from repro.fleet.spec import CellPlan, FleetSpec
+from repro.obs.slo import IncidentTimeline, SloEvaluator, SloSpec
 from repro.runtime.cache import content_key
 from repro.runtime.serialization import from_jsonable, to_jsonable
 from repro.serve.policy_store import PolicyStore
+from repro.serve.telemetry import Telemetry
 
 CHECKPOINT_FORMAT = 1
 
@@ -81,6 +83,95 @@ def plan_shards(spec: FleetSpec, shards: int, store_dir: str,
                   engine=engine)
         for shard, cells in enumerate(assigned)
     ]
+
+
+class FleetSloBreach(RuntimeError):
+    """Raised by :func:`run_fleet` under ``fail_fast=True`` when an
+    objective sustains a page-severity burn.  Carries the evaluator so
+    the caller (the CLI's exit-code path, tests) can read the open
+    incidents and the timeline digest at the moment of abort."""
+
+    def __init__(self, message: str, evaluator: SloEvaluator) -> None:
+        super().__init__(message)
+        self.evaluator = evaluator
+
+
+def _fleet_attribution(cells, limit: int = 3) -> List[Dict]:
+    """The worst cells merged so far, as incident attribution rows.
+
+    Deterministic fields only (``p50/p99_latency_ms`` are wall-clock
+    measurements and would unpin the timeline digest); floats rounded
+    the way the digest rounds top-level floats, since attribution rows
+    nest below it.
+    """
+    worst = sorted(cells,
+                   key=lambda c: (-c.violation_rate, c.cell))[:limit]
+    return [{"cell": stats.cell, "scenario": stats.scenario,
+             "violation_rate": round(stats.violation_rate, 9),
+             "fallbacks": stats.fallbacks} for stats in worst]
+
+
+class _SloDriver:
+    """Prefix-ordered SLO evaluation over completing shards.
+
+    Shard *completion* order is nondeterministic (``as_completed``
+    over a process pool), so results are buffered and the merged
+    telemetry is evaluated strictly in shard-index order -- shard k's
+    evaluation point is the cumulative merge of shards 0..k at logical
+    time ``k + 1``.  That makes the incident timeline (and its digest)
+    a pure function of the campaign, bit-identical across runs, shard
+    counts permitting, and resume/replay paths.
+    """
+
+    def __init__(self, evaluator: SloEvaluator) -> None:
+        self.evaluator = evaluator
+        self._telemetry = Telemetry()
+        self._cells: List = []
+        self._pending: Dict[int, ShardResult] = {}
+        self._next = 0
+
+    def offer(self, result: ShardResult) -> List[Dict]:
+        """Buffer one completed shard; evaluate any ready prefix."""
+        self._pending[result.shard] = result
+        emitted: List[Dict] = []
+        while self._next in self._pending:
+            shard = self._pending.pop(self._next)
+            self._telemetry.merge(shard.telemetry())
+            self._cells.extend(shard.cells)
+            emitted.extend(self.evaluator.observe(
+                self._telemetry, at=float(self._next + 1),
+                attribution=_fleet_attribution(self._cells)))
+            self._next += 1
+        return emitted
+
+    @property
+    def paging(self) -> bool:
+        return self.evaluator.paging
+
+
+def evaluate_checkpoint_slo(checkpoint: "str | FleetCheckpoint",
+                            slo: SloSpec,
+                            timeline: "str | IncidentTimeline | None"
+                            = None) -> SloEvaluator:
+    """Replay a checkpoint's shards through an SLO evaluator.
+
+    The offline twin of ``run_fleet(..., slo=...)``: shards evaluate
+    in shard-index order, so the resulting timeline -- and its digest
+    -- is identical to the one the live run wrote.  This is the entry
+    point ``repro obs watch --checkpoint`` and the CI smoke replay
+    use.  ``timeline`` may be a path (a fresh JSONL timeline is
+    written there) or an :class:`IncidentTimeline`; ``None`` keeps
+    records in memory.
+    """
+    if isinstance(checkpoint, str):
+        checkpoint = load_checkpoint(checkpoint)
+    if isinstance(timeline, str):
+        timeline = IncidentTimeline(path=timeline)
+    evaluator = SloEvaluator(slo, timeline=timeline)
+    driver = _SloDriver(evaluator)
+    for shard_id in sorted(checkpoint.results):
+        driver.offer(checkpoint.results[shard_id])
+    return evaluator
 
 
 @dataclass(frozen=True)
@@ -187,7 +278,10 @@ def run_fleet(spec: FleetSpec, store_dir: str,
               progress: Progress = None,
               scenarios: Optional[Dict] = None,
               snapshot=None,
-              engine: str = "vector") -> FleetReport:
+              engine: str = "vector",
+              slo: Optional[SloSpec] = None,
+              slo_timeline: "str | IncidentTimeline | None" = None,
+              fail_fast: bool = False) -> FleetReport:
     """Run a fleet campaign end to end and return its report.
 
     Parameters
@@ -222,6 +316,19 @@ def run_fleet(spec: FleetSpec, store_dir: str,
         code path, so reports (and their digests) are identical --
         which is why the choice is deliberately absent from fleet
         experiment-unit cache keys and checkpoint headers.
+    slo / slo_timeline / fail_fast:
+        With an :class:`SloSpec`, the coordinator streams every
+        shard-checkpoint boundary through a :class:`SloEvaluator` --
+        in shard-index order regardless of completion order, so the
+        incident timeline is deterministic.  ``slo_timeline`` is a
+        JSONL path (rewritten fresh each run; on resume the replayed
+        shards are re-evaluated first, so a resumed timeline equals an
+        uninterrupted one's -- same convention as the checkpoint
+        rewrite) or a live :class:`IncidentTimeline`.  ``fail_fast``
+        aborts with :class:`FleetSloBreach` the moment any objective
+        sustains a page-severity burn.  Reports and their digests are
+        untouched either way: evaluation only *reads* the merged
+        telemetry.
     """
     if spec.cells < shards:
         shards = spec.cells
@@ -294,6 +401,32 @@ def run_fleet(spec: FleetSpec, store_dir: str,
                         engine=engine)
     shards = len(plans)
     pending = [plan for plan in plans if plan.shard not in done]
+
+    driver = None
+    owns_timeline = slo is not None and isinstance(slo_timeline, str)
+    if slo is not None:
+        timeline = IncidentTimeline(path=slo_timeline) \
+            if owns_timeline else slo_timeline
+        driver = _SloDriver(SloEvaluator(slo, timeline=timeline))
+
+    def check_breach() -> None:
+        if fail_fast and driver is not None and driver.paging:
+            timeline = driver.evaluator.timeline
+            paged = sorted(
+                name for name, record
+                in timeline.open_incidents().items()
+                if record["severity"] == "page")
+            raise FleetSloBreach(
+                "fleet slo breach: sustained page-severity burn on "
+                + ", ".join(paged), driver.evaluator)
+
+    if driver is not None:
+        # Replayed shards evaluate first, in shard order: a resumed
+        # run's timeline is identical to an uninterrupted one's (the
+        # timeline, like the checkpoint, is rewritten fresh).
+        for shard_id in sorted(done):
+            driver.offer(done[shard_id])
+        check_breach()
     fh = None
     if checkpoint_path:
         directory = os.path.dirname(os.path.abspath(checkpoint_path))
@@ -327,6 +460,16 @@ def run_fleet(spec: FleetSpec, store_dir: str,
                      f"cell(s), {result.decisions} decisions in "
                      f"{result.elapsed_s:.2f}s "
                      f"[{len(done)}/{shards} done]")
+        if driver is not None:
+            for event in driver.offer(result):
+                if progress:
+                    progress(
+                        f"slo {event['event']}: {event['objective']} "
+                        f"[{event['severity']}] burn "
+                        f"{event['burn_fast']:.1f}x/"
+                        f"{event['burn_slow']:.1f}x "
+                        f"at checkpoint {event['at']:g}")
+            check_breach()
 
     # Replayed shards contribute their *recorded* time, so a resumed
     # run's throughput is not inflated by decisions it never re-made
@@ -341,11 +484,18 @@ def run_fleet(spec: FleetSpec, store_dir: str,
             with ProcessPoolExecutor(max_workers=len(pending)) as pool:
                 futures = [pool.submit(run_fleet_shard, plan)
                            for plan in pending]
-                for future in as_completed(futures):
-                    record(future.result())
+                try:
+                    for future in as_completed(futures):
+                        record(future.result())
+                except FleetSloBreach:
+                    for future in futures:
+                        future.cancel()
+                    raise
     finally:
         if fh is not None:
             fh.close()
+        if owns_timeline and driver is not None:
+            driver.evaluator.timeline.close()
     wall = time.perf_counter() - start + replayed_s
     results = [done[shard] for shard in sorted(done)]
     return build_report(spec, snapshot.ref, snapshot.digest, results,

@@ -137,6 +137,8 @@ def _drive_cells_lockstep(generators, episodes: int) -> None:
                 {n: float(step.usages[rows][j])
                  for j, n in enumerate(names)},
                 {n: step.observations[rows][j]
+                 for j, n in enumerate(names)},
+                {n: float(step.latencies[rows][j])
                  for j, n in enumerate(names)})
             if step.dones[i] or generators[cell]._stopped:
                 # _stopped mirrors LoadGenerator.run's per-slot

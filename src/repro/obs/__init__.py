@@ -21,6 +21,13 @@ repo:
   bench writes ``BENCH_<name>.json`` through the shared recorder,
   and ``repro obs compare`` gates regressions against the committed
   baselines.
+* :mod:`repro.obs.slo` -- the judging layer over the metrics:
+  declarative :class:`SloSpec` health contracts, streaming
+  :class:`SloEvaluator` with multi-window burn-rate alerting, and the
+  JSONL :class:`IncidentTimeline` with a deterministic digest.
+  ``repro obs watch`` renders live health (:mod:`repro.obs.monitor`),
+  ``repro obs incidents`` queries timelines, and ``fleet run --slo``
+  evaluates at every shard-checkpoint boundary.
 
 Import discipline: this package depends only on the standard library
 and numpy, so every other layer (engine, serve, fleet, runtime) can
@@ -45,6 +52,14 @@ from repro.obs.metrics import (
     Telemetry,
 )
 from repro.obs.profile import KernelProfiler
+from repro.obs.slo import (
+    IncidentTimeline,
+    ObjectiveStatus,
+    SloEvaluator,
+    SloObjective,
+    SloSpec,
+    default_slo_spec,
+)
 from repro.obs.trace import (
     Tracer,
     configure as configure_tracing,
@@ -59,12 +74,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "IncidentTimeline",
     "KernelProfiler",
+    "ObjectiveStatus",
+    "SloEvaluator",
+    "SloObjective",
+    "SloSpec",
     "Telemetry",
     "Tracer",
     "compare_bench",
     "configure_tracing",
     "configure_tracing_from_env",
+    "default_slo_spec",
     "disable_tracing",
     "load_bench_dir",
     "read_rollup",

@@ -13,6 +13,14 @@ that need them.
   the current results over the baselines instead.
 * ``obs profile`` -- run one scenario episode under the kernel
   profiler and print the per-kernel cost breakdown.
+* ``obs watch`` -- live fleet health: evaluate an SLO spec against a
+  fleet checkpoint (full burn-rate view, deterministic timeline
+  digest) or a telemetry JSONL export dir (point-in-time view) and
+  render the dashboard every ``--interval`` seconds (``--once`` /
+  ``--json`` for scripting and CI).
+* ``obs incidents`` -- query an incident timeline JSONL: filter by
+  objective / severity / event, print the table or the raw records
+  plus the timeline digest.
 """
 
 from __future__ import annotations
@@ -82,6 +90,49 @@ def add_obs_parser(subparsers) -> None:
     profile.add_argument("--seed", type=int, default=None)
     profile.add_argument("--json", action="store_true")
 
+    watch = obs_sub.add_parser(
+        "watch", help="live SLO health dashboard over a fleet "
+                      "checkpoint or telemetry exports")
+    watch.add_argument(
+        "--slo", default="default", metavar="SPEC",
+        help="'default' for the stock contract or a tagged-JSON "
+             "SloSpec file")
+    watch.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="fleet checkpoint JSONL: full burn-rate evaluation with "
+             "a deterministic timeline digest")
+    watch.add_argument(
+        "--telemetry-dir", default=None, metavar="PATH",
+        dest="telemetry_dir",
+        help="telemetry JSONL export dir/file: point-in-time health")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="seconds between frames (default: 2)")
+    watch.add_argument("--frames", type=int, default=0, metavar="N",
+                       help="stop after N frames (default: forever)")
+    watch.add_argument("--once", action="store_true",
+                       help="render one frame and exit "
+                            "(same as --frames 1)")
+    watch.add_argument("--json", action="store_true",
+                       help="emit the frame payload as JSON")
+    watch.add_argument("--no-clear", action="store_true",
+                       dest="no_clear",
+                       help="do not clear the terminal between frames")
+
+    incidents = obs_sub.add_parser(
+        "incidents", help="query an incident timeline JSONL")
+    incidents.add_argument("path", help="incident timeline file")
+    incidents.add_argument("--objective", default=None,
+                           help="only this objective's records")
+    incidents.add_argument("--severity", default=None,
+                           choices=("warn", "page"),
+                           help="only records at this severity")
+    incidents.add_argument("--event", default=None,
+                           choices=("open", "update", "resolve"),
+                           help="only this transition kind")
+    incidents.add_argument("--json", action="store_true",
+                           help="emit records + digest as JSON")
+
 
 def run_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "report":
@@ -90,7 +141,42 @@ def run_obs(args: argparse.Namespace) -> int:
         return _run_compare(args)
     if args.obs_command == "profile":
         return _run_profile(args)
+    if args.obs_command == "watch":
+        return _run_watch(args)
+    if args.obs_command == "incidents":
+        return _run_incidents(args)
     raise SystemExit(f"unknown obs command {args.obs_command!r}")
+
+
+def load_slo_spec(value: Optional[str]):
+    """Resolve an ``--slo`` argument.
+
+    ``None`` or the literal ``"default"`` gives the stock contract
+    (:func:`repro.obs.slo.default_slo_spec`); anything else is read as
+    a tagged-JSON :class:`~repro.obs.slo.SloSpec` file.  Raises
+    ``SystemExit`` with an actionable message on unreadable or
+    mistyped files -- shared by ``fleet run --slo``, ``loadgen --slo``
+    and ``obs watch``.
+    """
+    from repro.obs.slo import SloSpec, default_slo_spec
+
+    if value is None or value == "default":
+        return default_slo_spec()
+    from repro.runtime.serialization import from_jsonable
+
+    try:
+        with open(value, "r", encoding="utf-8") as fh:
+            spec = from_jsonable(json.load(fh))
+    except OSError as exc:
+        raise SystemExit(f"cannot read slo spec: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"invalid slo spec {value!r}: {exc}")
+    if not isinstance(spec, SloSpec):
+        raise SystemExit(
+            f"{value!r} does not hold a tagged SloSpec (write one "
+            "with repro.runtime.serialization.to_jsonable; or pass "
+            "'default')")
+    return spec
 
 
 def _default_trace_paths() -> List[str]:
@@ -109,6 +195,11 @@ def _run_report(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     rollup = read_rollup(paths)
+    if not rollup:
+        print(f"no trace spans under: {', '.join(paths)} (run with "
+              "REPRO_TRACE_DIR set or 'fleet run --trace-dir' first)",
+              file=sys.stderr)
+        return 2
     digest = rollup_digest(rollup)
     if args.json:
         print(json.dumps({"digest": digest,
@@ -126,7 +217,12 @@ def _run_compare(args: argparse.Namespace) -> int:
         bench.ENV_BENCH_DIR) or bench.DEFAULT_RESULTS_DIR
     baseline = args.baseline or bench.DEFAULT_BASELINE_DIR
     if args.update:
-        current = bench.load_dir(results)
+        try:
+            current = bench.load_dir(results)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read bench results: {exc}",
+                  file=sys.stderr)
+            return 2
         if not current:
             print(f"no BENCH_*.json under {results}", file=sys.stderr)
             return 2
@@ -141,8 +237,14 @@ def _run_compare(args: argparse.Namespace) -> int:
                  if args.tolerance is None else args.tolerance)
     floor = (bench.DEFAULT_FLOOR
              if args.floor is None else args.floor)
-    report = bench.compare(results, baseline, tolerance=tolerance,
-                           floor=floor)
+    try:
+        report = bench.compare(results, baseline, tolerance=tolerance,
+                               floor=floor)
+    except (OSError, ValueError) as exc:
+        # a corrupt/truncated BENCH_*.json or baseline file must not
+        # traceback out of a CI gate
+        print(f"cannot compare bench results: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(report, indent=2))
     else:
@@ -183,4 +285,105 @@ def _run_profile(args: argparse.Namespace) -> int:
         print(f"scenario {spec.name}: {profiler.calls} kernel calls, "
               f"sampling 1/{args.sample}")
         print(format_profile(rows))
+    return 0
+
+
+def _render_watch_frame(args: argparse.Namespace, spec) -> int:
+    """One ``obs watch`` frame; returns the would-be exit code."""
+    from repro.obs import monitor
+
+    if args.checkpoint is not None:
+        from repro.fleet import evaluate_checkpoint_slo
+
+        try:
+            evaluator = evaluate_checkpoint_slo(args.checkpoint, spec)
+        except OSError as exc:
+            print(f"cannot read checkpoint: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(monitor.frame_payload(evaluator),
+                             indent=2))
+        else:
+            print(monitor.render_frame(
+                f"fleet health -- {args.checkpoint} "
+                f"[slo {spec.name}]", evaluator))
+        return 0
+    try:
+        rows = monitor.read_telemetry_export(args.telemetry_dir)
+    except OSError as exc:
+        print(f"cannot read telemetry exports: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed telemetry export under "
+              f"{args.telemetry_dir!r}: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"no telemetry exports under {args.telemetry_dir!r} "
+              "(run serve/loadgen with --telemetry-dir first)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        statuses = monitor.point_statuses(spec, rows)
+        print(json.dumps({
+            "spec": spec.name, "mode": "point",
+            "objectives": [
+                {"objective": s.objective.name, "severity": s.severity,
+                 "burn": s.burn_fast, "value": s.value}
+                for s in statuses]}, indent=2))
+    else:
+        print(monitor.render_point_frame(
+            f"telemetry health -- {args.telemetry_dir} "
+            f"[slo {spec.name}]", spec, rows))
+    return 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    import time
+
+    if (args.checkpoint is None) == (args.telemetry_dir is None):
+        print("obs watch needs exactly one of --checkpoint or "
+              "--telemetry-dir", file=sys.stderr)
+        return 2
+    spec = load_slo_spec(args.slo)
+    frames = 1 if args.once else args.frames
+    rendered = 0
+    while True:
+        if not args.json and not args.no_clear and rendered:
+            print("\x1b[2J\x1b[H", end="")
+        code = _render_watch_frame(args, spec)
+        if code != 0:
+            return code
+        rendered += 1
+        if frames and rendered >= frames:
+            return 0
+        time.sleep(max(args.interval, 0.0))
+
+
+def _run_incidents(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import format_incidents
+    from repro.obs.slo import IncidentTimeline
+
+    try:
+        timeline = IncidentTimeline.load(args.path)
+    except OSError as exc:
+        print(f"cannot read incident timeline: {exc}", file=sys.stderr)
+        return 2
+    kept = [record for record in timeline.records
+            if (args.objective is None
+                or record["objective"] == args.objective)
+            and (args.severity is None
+                 or record["severity"] == args.severity)
+            and (args.event is None or record["event"] == args.event)]
+    if args.json:
+        print(json.dumps({"digest": timeline.digest(),
+                          "records": kept}, indent=2))
+        return 0
+    print(format_incidents(timeline.records,
+                           objective=args.objective,
+                           severity=args.severity, event=args.event))
+    print(f"\n{len(kept)}/{len(timeline.records)} record(s), "
+          f"timeline digest {timeline.digest()[:16]}")
     return 0

@@ -176,8 +176,10 @@ class Histogram:
     stays O(buckets) no matter how many observations follow -- the
     regime a fleet aggregate lives in.  ``count``/``sum``/``min``/
     ``max`` are tracked exactly in both modes; bucket-mode percentiles
-    are geometric interpolations within one bucket (<= ~9% relative
-    error by construction).
+    interpolate linearly *within* the straddling bucket (<= ~9%
+    relative error by bucket construction), so quantile readouts --
+    and the burn-rate math built on them -- move smoothly with new
+    observations instead of jumping edge to edge.
 
     Snapshot keys are unchanged from the exact-only implementation
     (``count``/``sum``/``mean``/``p50``/``p90``/``p99``); ``mode`` is
@@ -262,8 +264,41 @@ class Histogram:
             value = self._max
         else:
             low, high = _EDGES[index - 1], _EDGES[index]
-            value = low * (high / low) ** frac  # geometric within bucket
+            value = low + frac * (high - low)   # linear within bucket
         return float(min(max(value, self._min), self._max))
+
+    def count_over(self, threshold: float) -> float:
+        """Observations strictly above ``threshold`` (0.0 when empty).
+
+        Exact in exact mode.  In bucketed mode, full buckets above the
+        threshold count whole and the straddling bucket contributes a
+        linearly interpolated share -- the same within-bucket model as
+        :meth:`percentile` -- so SLI fractions built on it (e.g. "how
+        much traffic blew the latency budget") stay smooth rather than
+        step-quantized at bucket edges.
+        """
+        threshold = float(threshold)
+        if self._count == 0 or threshold >= self._max:
+            return 0.0
+        if threshold < self._min:
+            return float(self._count)
+        if self._samples is not None:
+            return float(sum(1 for v in self._samples if v > threshold))
+        index = _bucket_index(threshold)
+        above = float(self._buckets[index + 1:].sum())
+        inside = int(self._buckets[index])
+        if inside:
+            if index == 0:                 # underflow: [<=0, BUCKET_MIN)
+                low, high = min(self._min, 0.0), BUCKET_MIN
+            elif index == len(self._buckets) - 1:   # overflow bucket
+                low, high = _EDGES[-1], max(self._max, float(_EDGES[-1]))
+            else:
+                low, high = float(_EDGES[index - 1]), \
+                    float(_EDGES[index])
+            span = high - low
+            frac = (high - threshold) / span if span > 0 else 0.0
+            above += inside * min(max(frac, 0.0), 1.0)
+        return float(min(above, self._count))
 
     def snapshot(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -429,6 +464,16 @@ class Telemetry:
     def counters(self) -> Dict[str, Counter]:
         """Key -> counter, in insertion order (live objects)."""
         return dict(self._counters)
+
+    def find_counter(self, key: str) -> Optional[Counter]:
+        """The counter registered under ``key``, or ``None`` -- a
+        copy-free read for hot-path consumers (the SLO evaluator
+        re-reads the registry every few decision batches)."""
+        return self._counters.get(key)
+
+    def find_histogram(self, key: str) -> Optional["Histogram"]:
+        """The histogram registered under ``key``, or ``None``."""
+        return self._histograms.get(key)
 
     def gauges(self) -> Dict[str, Gauge]:
         """Key -> gauge, in insertion order (live objects)."""

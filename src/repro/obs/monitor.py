@@ -1,0 +1,243 @@
+"""Health rendering: the ``repro obs watch`` dashboard and incident
+formatting.
+
+Pure presentation over :mod:`repro.obs.slo`: given an evaluator's
+:class:`~repro.obs.slo.ObjectiveStatus` rows and a timeline, render a
+terminal frame -- per-objective status glyphs, fast/slow burn rates,
+unicode sparkline trends over the recent burn history, and the open
+incident list.  The CLI (``repro obs watch``) drives this either from
+a fleet checkpoint (full burn-rate evaluation: histogram states are
+mergeable, so windowed SLIs are exact) or from a telemetry JSONL
+export directory (point-in-time health: exports carry percentile
+readouts, not mergeable states, so latency objectives compare the
+exported percentile against the budget directly).
+
+Everything here is stdlib-only and side-effect free -- functions take
+data, return strings -- so tests can pin frames without a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.slo import (IncidentTimeline, ObjectiveStatus,
+                           SloEvaluator, SloSpec)
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Status column glyph + label by severity (None = healthy).
+SEVERITY_LABELS = {None: "ok", "warn": "WARN", "page": "PAGE"}
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Render a value series as a fixed-width unicode sparkline.
+
+    The newest ``width`` values are scaled against the series max (a
+    burn of 0 is always the lowest glyph), so a flat healthy history
+    reads as a flat low line and spikes stand out regardless of
+    scale.
+    """
+    tail = [max(float(v), 0.0) for v in values][-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return SPARK_CHARS[0] * len(tail)
+    steps = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(int(round(v / top * steps)), steps)]
+        for v in tail)
+
+
+def format_statuses(statuses: Sequence[ObjectiveStatus]) -> str:
+    """The per-objective table of one dashboard frame."""
+    lines = [f"{'objective':<22} {'status':>6} {'burn(fast)':>10} "
+             f"{'burn(slow)':>10} {'sli':>9}  trend"]
+    for status in statuses:
+        label = SEVERITY_LABELS[status.severity]
+        lines.append(
+            f"{status.objective.name:<22} {label:>6} "
+            f"{status.burn_fast:>10.2f} {status.burn_slow:>10.2f} "
+            f"{status.value:>9.4f}  {sparkline(status.history)}")
+    return "\n".join(lines)
+
+
+def format_open_incidents(timeline: IncidentTimeline) -> str:
+    open_incidents = timeline.open_incidents()
+    if not open_incidents:
+        return "no open incidents"
+    lines = [f"{len(open_incidents)} open incident(s):"]
+    for name in sorted(open_incidents):
+        record = open_incidents[name]
+        attribution = ", ".join(
+            f"cell {row.get('cell')} ({row.get('scenario')})"
+            for row in record.get("attribution", [])[:3])
+        lines.append(
+            f"  [{record['severity']}] {record['incident']} "
+            f"since t={record['at']:g} "
+            f"burn {record['burn_fast']:.1f}/{record['burn_slow']:.1f}"
+            + (f" -- {attribution}" if attribution else ""))
+    return "\n".join(lines)
+
+
+def render_frame(title: str, evaluator: SloEvaluator) -> str:
+    """One full dashboard frame (statuses + open incidents)."""
+    return "\n".join([
+        title,
+        "=" * len(title),
+        format_statuses(evaluator.statuses()),
+        "",
+        format_open_incidents(evaluator.timeline),
+        f"timeline: {len(evaluator.timeline.records)} record(s), "
+        f"digest {evaluator.timeline.digest()[:16]}",
+    ])
+
+
+def frame_payload(evaluator: SloEvaluator) -> Dict:
+    """Machine-readable frame (the ``watch --json`` shape CI pins)."""
+    return {
+        "spec": evaluator.spec.name,
+        "digest": evaluator.timeline.digest(),
+        "records": len(evaluator.timeline.records),
+        "paging": evaluator.paging,
+        "objectives": [
+            {"objective": s.objective.name,
+             "severity": s.severity,
+             "burn_fast": s.burn_fast,
+             "burn_slow": s.burn_slow,
+             "value": s.value,
+             "at": s.at}
+            for s in evaluator.statuses()],
+        "incidents": [dict(record)
+                      for record in evaluator.timeline.records],
+    }
+
+
+# ---- point-in-time health from telemetry JSONL exports ---------------
+
+def read_telemetry_export(path: str) -> List[Dict]:
+    """Rows of every instrument-export ``*.jsonl`` under ``path``
+    (a file works too).  Prometheus ``.prom`` siblings are ignored."""
+    files: List[str] = []
+    if os.path.isdir(path):
+        files = sorted(os.path.join(path, name)
+                       for name in os.listdir(path)
+                       if name.endswith(".jsonl"))
+    else:
+        files = [path]
+    rows: List[Dict] = []
+    for file_path in files:
+        with open(file_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+    return rows
+
+
+def _export_key(row: Dict) -> str:
+    from repro.obs.metrics import instrument_key
+
+    return instrument_key(str(row.get("metric", "")),
+                          row.get("labels"))
+
+
+def point_statuses(spec: SloSpec, rows: Sequence[Dict]
+                   ) -> List[ObjectiveStatus]:
+    """Point-in-time health of exported telemetry rows.
+
+    Exports are snapshots (percentiles, counts, sums), not mergeable
+    states, so no windowing is possible: each objective's *current*
+    value is compared against its allowance and both burn columns
+    carry the same point burn.  Latency objectives read the exported
+    percentile nearest the objective's (p50/p90/p99 are exported)
+    and report ``value / budget`` as the burn.
+    """
+    counters: Dict[str, float] = {}
+    histograms: Dict[str, Dict] = {}
+    for row in rows:
+        key = _export_key(row)
+        if row.get("type") == "counter":
+            counters[key] = counters.get(key, 0.0) \
+                + float(row.get("value", 0.0))
+        elif row.get("type") == "histogram":
+            histograms[key] = row
+    statuses: List[ObjectiveStatus] = []
+    for objective in spec.objectives:
+        value = 0.0
+        burn = 0.0
+        if objective.kind == "latency":
+            row = histograms.get(objective.instrument)
+            if row is not None:
+                exported = [float(p[1:]) for p in row
+                            if p.startswith("p") and p[1:]
+                            .replace(".", "").isdigit()]
+                if exported:
+                    nearest = min(
+                        exported,
+                        key=lambda p: abs(p - objective.percentile))
+                    value = float(row[f"p{nearest:g}"])
+                    burn = value / objective.budget_ms
+        else:
+            numerator = counters.get(objective.instrument, 0.0)
+            if objective.kind == "mean" and not objective.total:
+                row = histograms.get(objective.instrument)
+                if row is not None and row.get("count"):
+                    value = float(row["sum"]) / float(row["count"])
+            else:
+                denominator = counters.get(objective.total, 0.0)
+                value = numerator / denominator if denominator else 0.0
+            burn = value / objective.allowance
+        severity = None
+        if burn >= objective.page_burn:
+            severity = "page"
+        elif burn >= objective.warn_burn:
+            severity = "warn"
+        statuses.append(ObjectiveStatus(
+            objective=objective, severity=severity,
+            burn_fast=burn, burn_slow=burn, value=value,
+            history=[burn]))
+    return statuses
+
+
+def render_point_frame(title: str, spec: SloSpec,
+                       rows: Sequence[Dict]) -> str:
+    """Dashboard frame for exported telemetry (no timeline)."""
+    return "\n".join([
+        title,
+        "=" * len(title),
+        format_statuses(point_statuses(spec, rows)),
+        "",
+        "(point-in-time view: exports carry no mergeable history, "
+        "so burns are instantaneous)",
+    ])
+
+
+# ---- incident timeline formatting ------------------------------------
+
+def format_incidents(records: Sequence[Dict],
+                     objective: Optional[str] = None,
+                     severity: Optional[str] = None,
+                     event: Optional[str] = None) -> str:
+    """Text table over (optionally filtered) timeline records."""
+    kept = [r for r in records
+            if (objective is None or r["objective"] == objective)
+            and (severity is None or r["severity"] == severity)
+            and (event is None or r["event"] == event)]
+    if not kept:
+        return "(no matching incident records)"
+    lines = [f"{'seq':>4} {'t':>8} {'event':<8} {'sev':<5} "
+             f"{'incident':<26} {'burn f/s':>13}  attribution"]
+    for record in kept:
+        attribution = ", ".join(
+            f"cell {row.get('cell')}:{row.get('scenario')}"
+            for row in record.get("attribution", [])[:3])
+        lines.append(
+            f"{record['seq']:>4} {record['at']:>8g} "
+            f"{record['event']:<8} {str(record['severity']):<5} "
+            f"{str(record['incident']):<26} "
+            f"{record['burn_fast']:>6.1f}/{record['burn_slow']:<6.1f}"
+            f"  {attribution}")
+    return "\n".join(lines)

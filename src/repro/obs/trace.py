@@ -257,6 +257,38 @@ def flush() -> None:
         _TRACER.flush()
 
 
+def parse_sample_interval(value: "str | None") -> int:
+    """Validate a ``REPRO_TRACE_SAMPLE`` setting into an interval.
+
+    Integers >= 1 are a plain every-Nth interval; floats in (0, 1]
+    are a sampling *rate* (0.1 -> every 10th span).  Everything else
+    -- junk text, NaN, inf, zero, negatives -- raises ``ValueError``
+    naming the variable, instead of surfacing as an opaque crash (or,
+    worse, a silently skewed trace) deep inside a run.
+    """
+    if value is None or value == "":
+        return DEFAULT_SAMPLE_INTERVAL
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_TRACE_SAMPLE}={value!r} is not a number; expected "
+            "an integer interval >= 1 (sample every Nth span) or a "
+            "rate in (0, 1]")
+    if parsed != parsed or parsed in (float("inf"), float("-inf")) \
+            or parsed <= 0:
+        raise ValueError(
+            f"{ENV_TRACE_SAMPLE}={value!r} must be a finite positive "
+            "number: an integer interval >= 1 or a rate in (0, 1]")
+    if parsed < 1.0:
+        return max(1, round(1.0 / parsed))
+    if parsed != int(parsed):
+        raise ValueError(
+            f"{ENV_TRACE_SAMPLE}={value!r}: intervals above 1 must be "
+            "whole numbers of spans (or pass a rate in (0, 1])")
+    return int(parsed)
+
+
 def configure_from_env(label: str = "proc") -> Optional[Tracer]:
     """Install a file-backed tracer if ``REPRO_TRACE_DIR`` is set.
 
@@ -264,7 +296,8 @@ def configure_from_env(label: str = "proc") -> Optional[Tracer]:
     writes its own ``trace-<label>-<pid>.jsonl``, so concurrent fleet
     shards and pool workers never contend on one file; the reader
     merges.  A flush is registered via ``atexit`` so short-lived
-    workers leave complete files behind.
+    workers leave complete files behind.  ``REPRO_TRACE_SAMPLE``
+    tunes sampling (see :func:`parse_sample_interval`).
     """
     global _TRACER
     if _TRACER is not None:
@@ -272,8 +305,7 @@ def configure_from_env(label: str = "proc") -> Optional[Tracer]:
     directory = os.environ.get(ENV_TRACE_DIR)
     if not directory:
         return None
-    sample = int(os.environ.get(ENV_TRACE_SAMPLE,
-                                DEFAULT_SAMPLE_INTERVAL))
+    sample = parse_sample_interval(os.environ.get(ENV_TRACE_SAMPLE))
     path = os.path.join(directory,
                         f"trace-{label}-{os.getpid()}.jsonl")
     tracer = configure(path=path, sample_interval=sample, label=label)

@@ -31,7 +31,10 @@ Subcommands
     the fleet report (p50/p99 latency, per-scenario SLA table,
     per-cell outliers, deterministic report digest).  ``fleet
     report --checkpoint`` rebuilds the report from a checkpoint file
-    without running anything.
+    without running anything.  ``--slo SPEC`` judges every
+    shard-checkpoint boundary against a declarative health contract
+    (burn-rate alerting; ``--slo-timeline`` streams the incident
+    records, ``--fail-fast`` exits 4 on a sustained page burn).
 ``fuzz run / fuzz shrink / fuzz sweep``
     Scenario fuzzing: ``run`` generates a seeded spec corpus
     (``--seed``/``--count``) and oracle-checks it across methods --
@@ -55,14 +58,18 @@ Subcommands
 ``cache``
     Inspect (``info``), drop (``clear``) or size-bound (``prune
     --max-size``) the on-disk result cache.
-``obs report / obs compare / obs profile``
+``obs report / obs compare / obs profile / obs watch / obs incidents``
     Observability tooling: ``report`` rolls merged trace files (from
     ``REPRO_TRACE_DIR`` or ``fleet run --trace-dir``) into a
     flamegraph-style span tree with an attributed-span digest;
     ``compare`` diffs ``BENCH_*.json`` perf results against the
     committed baselines (non-zero exit on regression); ``profile``
     runs one scenario episode under the per-kernel profiler and
-    prints where engine time goes.
+    prints where engine time goes; ``watch`` renders a live fleet
+    health board (burn sparklines, open incidents) from a fleet
+    checkpoint or a serving telemetry export; ``incidents`` queries
+    an SLO incident timeline (filter by objective/severity/event)
+    and prints its deterministic digest.
 
 Examples
 --------
@@ -88,9 +95,14 @@ Examples
         --method model_based
     python -m repro fuzz sweep --count 32 --out artefacts/
     python -m repro fleet run --cells 8 --trace-dir .repro_trace
+    python -m repro fleet run --cells 8 --slo default \
+        --slo-timeline incidents.jsonl --fail-fast
     python -m repro obs report .repro_trace
     python -m repro obs compare --results .repro_bench
     python -m repro obs profile --scenario flash_crowd --alloc
+    python -m repro obs watch --checkpoint fleet.jsonl --once
+    python -m repro obs incidents incidents.jsonl --severity page
+    python -m repro loadgen --scenario flash_crowd --slo default
 """
 
 from __future__ import annotations
@@ -330,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(reference path)")
         p.add_argument("--telemetry-dir", default=None, metavar="DIR",
                        help="export instrument readings as JSONL")
+        p.add_argument("--slo", default=None, metavar="SPEC",
+                       help="evaluate SLOs while serving: 'default' "
+                            "for the stock contract or a tagged-JSON "
+                            "SloSpec file")
         p.add_argument("--json", action="store_true", dest="as_json")
 
     fleet = sub.add_parser(
@@ -381,6 +397,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write obs trace spans (one JSONL "
                                 "file per process) into DIR; inspect "
                                 "with 'python -m repro obs report'")
+    fleet_run.add_argument("--slo", default=None, metavar="SPEC",
+                           help="evaluate SLOs at every shard "
+                                "checkpoint: 'default' for the stock "
+                                "contract or a tagged-JSON SloSpec "
+                                "file")
+    fleet_run.add_argument("--slo-timeline", default=None,
+                           metavar="PATH", dest="slo_timeline",
+                           help="write the incident timeline JSONL "
+                                "here (with --slo; inspect with "
+                                "'python -m repro obs incidents')")
+    fleet_run.add_argument("--fail-fast", action="store_true",
+                           dest="fail_fast",
+                           help="with --slo: abort (exit 4) the "
+                                "moment an objective sustains a "
+                                "page-severity burn")
     fleet_run.add_argument("--json", action="store_true",
                            dest="as_json")
     fleet_report = fleet_sub.add_parser(
@@ -554,9 +585,16 @@ def _run_serving(args, report_telemetry: bool) -> int:
     if scenario not in scenario_registry.names():
         raise SystemExit(f"unknown scenario {scenario!r} "
                          f"(try 'python -m repro scenarios')")
+    evaluator = None
+    if args.slo is not None:
+        from repro.obs.cli import load_slo_spec
+        from repro.obs.slo import SloEvaluator
+
+        evaluator = SloEvaluator(load_slo_spec(args.slo))
     generator = LoadGenerator(snapshot, scenario, slices=args.slices,
                               seed=args.seed,
-                              batching=not args.no_batch)
+                              batching=not args.no_batch,
+                              slo=evaluator)
     report = generator.run(episodes=args.episodes,
                            max_decisions=args.decisions)
     telemetry_rows = generator.telemetry.snapshot()
@@ -575,6 +613,10 @@ def _run_serving(args, report_telemetry: bool) -> int:
                    "report": report.row()}
         if report_telemetry:
             payload["telemetry"] = telemetry_rows
+        if evaluator is not None:
+            from repro.obs.monitor import frame_payload
+
+            payload["slo"] = frame_payload(evaluator)
         print(json.dumps(payload, indent=2))
         return 0
     print(f"== {'serve' if report_telemetry else 'loadgen'} "
@@ -601,6 +643,14 @@ def _run_serving(args, report_telemetry: bool) -> int:
                               for k, v in row.items()
                               if k not in ("metric", "type"))
             print(f"  {row['metric']:<22} {cells}")
+    if evaluator is not None:
+        from repro.obs.monitor import format_open_incidents, \
+            format_statuses
+
+        print("  -- slo --")
+        for line in format_statuses(evaluator.statuses()).splitlines():
+            print(f"  {line}")
+        print(f"  {format_open_incidents(evaluator.timeline)}")
     return 0
 
 
@@ -703,6 +753,7 @@ def _fleet_json(report, complete: bool = True) -> str:
 def _run_fleet(args) -> int:
     """The ``fleet run`` / ``fleet report`` subcommands."""
     from repro.fleet import (
+        FleetSloBreach,
         FleetSpec,
         format_report,
         load_checkpoint,
@@ -750,6 +801,14 @@ def _run_fleet(args) -> int:
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume needs --checkpoint (there is "
                          "nothing to resume from without one)")
+    slo_spec = None
+    if args.slo is not None:
+        from repro.obs.cli import load_slo_spec
+
+        slo_spec = load_slo_spec(args.slo)
+    elif args.slo_timeline or args.fail_fast:
+        raise SystemExit("--slo-timeline/--fail-fast need --slo (pass "
+                         "--slo default for the stock contract)")
     try:
         spec = FleetSpec(name=args.name, cells=args.cells,
                          scenarios=scenario_names or (),
@@ -772,13 +831,29 @@ def _run_fleet(args) -> int:
             shards=shards, checkpoint_path=args.checkpoint,
             resume=args.resume,
             progress=lambda line: print(line, file=sys.stderr),
-            snapshot=snapshot, engine=args.engine)
+            snapshot=snapshot, engine=args.engine,
+            slo=slo_spec, slo_timeline=args.slo_timeline,
+            fail_fast=args.fail_fast)
+    except FleetSloBreach as exc:
+        print(f"SLO BREACH: {exc}", file=sys.stderr)
+        if args.slo_timeline:
+            print(f"incident timeline: {args.slo_timeline} (inspect "
+                  "with 'python -m repro obs incidents')",
+                  file=sys.stderr)
+        return 4
     except ValueError as exc:
         raise SystemExit(str(exc))
     except OSError as exc:
         # checkpoint I/O (reading an old one or writing the new one):
         # unwritable directory, path through a file, EACCES...
         raise SystemExit(f"checkpoint I/O failed: {exc}")
+    if slo_spec is not None and args.slo_timeline:
+        from repro.obs.slo import IncidentTimeline
+
+        timeline = IncidentTimeline.load(args.slo_timeline)
+        print(f"slo timeline: {len(timeline.records)} record(s), "
+              f"digest {timeline.digest()[:16]} -> "
+              f"{args.slo_timeline}", file=sys.stderr)
     if args.trace_dir is not None:
         from repro.obs.trace import flush as trace_flush
 

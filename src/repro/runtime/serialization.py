@@ -46,6 +46,7 @@ from repro.config import (
     TransportConfig,
 )
 from repro.experiments.metrics import MethodResult, TrajectoryPoint
+from repro.obs.slo import SloObjective, SloSpec
 from repro.scenarios import (
     EVENT_TYPES,
     TRAFFIC_MODEL_TYPES,
@@ -66,6 +67,8 @@ DATACLASS_TYPES = {
         SliceSpec, SwitchingConfig, TrafficConfig, TransportConfig,
         # the scenario object graph
         ScenarioSpec, SliceTemplate, *TRAFFIC_MODEL_TYPES, *EVENT_TYPES,
+        # the SLO object graph (health contracts pin like scenarios)
+        SloObjective, SloSpec,
     )
 }
 

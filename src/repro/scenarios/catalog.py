@@ -90,6 +90,14 @@ register(ScenarioSpec(
                          extra_latency_ms=25.0),)))
 
 register(ScenarioSpec(
+    name="transport_brownout",
+    description="+60 ms transport forwarding latency for half the "
+                "episode -- sustained degradation for burn-rate "
+                "alerting (cf. latency_surge's short blip)",
+    events=(LatencySurge(at_fraction=0.25, duration_fraction=0.5,
+                         extra_latency_ms=60.0),)))
+
+register(ScenarioSpec(
     name="slice_churn",
     description="a background MAR slice attaches mid-episode, "
                 "contends, then departs",

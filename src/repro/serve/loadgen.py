@@ -37,11 +37,16 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.config import ExperimentConfig
+from repro.obs.slo import SloEvaluator
 from repro.scenarios.spec import ScenarioSpec, population
 from repro.serve.policy_store import PolicySnapshot
 from repro.serve.service import DecisionRequest, SlicingService
 from repro.serve.telemetry import Telemetry
 from repro.sim.env import STATE_DIM
+
+#: Telemetry-flush interval (in served slots) at which an attached
+#: :class:`~repro.obs.slo.SloEvaluator` re-reads the registry.
+DEFAULT_SLO_EVERY = 16
 
 
 @dataclass(frozen=True)
@@ -94,7 +99,9 @@ class LoadGenerator:
                  batching: bool = True,
                  eta: Optional[float] = None,
                  telemetry: Optional[Telemetry] = None,
-                 trace_attrs: Optional[Dict[str, object]] = None
+                 trace_attrs: Optional[Dict[str, object]] = None,
+                 slo: Optional[SloEvaluator] = None,
+                 slo_every: int = DEFAULT_SLO_EVERY
                  ) -> None:
         from repro.experiments.harness import resolve_scenario
 
@@ -115,6 +122,11 @@ class LoadGenerator:
             trace_attrs=trace_attrs)
         self.simulator = self.spec.build_simulator(
             self.cfg, rng=np.random.default_rng(self.cfg.seed))
+        self.slo = slo
+        if slo_every < 1:
+            raise ValueError("slo_every must be >= 1")
+        self.slo_every = slo_every
+        self._apps = {spec.name: spec.app for spec in self.cfg.slices}
 
     # ---- incremental driving API ------------------------------------
     #
@@ -144,6 +156,19 @@ class LoadGenerator:
         # service stacks/copies states before inference, so reuse is
         # safe within and across slots)
         self._states: Dict[str, np.ndarray] = {}
+        self._slots_recorded = 0
+        # instrument handles cached once per run: record_step runs per
+        # slot and instrument_key would otherwise re-render labels on
+        # every observation
+        tel = self.telemetry
+        self._latency_hist = tel.histogram("slice_latency_ms")
+        self._latency_by_app = {
+            app: tel.histogram("slice_latency_ms", {"app": app})
+            for app in sorted(set(self._apps.values()))}
+        self._slot_counter = tel.counter("slice_slots")
+        self._cost_counter = tel.counter("slice_cost_total")
+        self._sla_episodes = tel.counter("sla_episodes")
+        self._sla_violations = tel.counter("sla_violations")
 
     @property
     def want_more_episodes(self) -> bool:
@@ -197,15 +222,38 @@ class LoadGenerator:
 
     def record_step(self, costs: Dict[str, float],
                     usages: Dict[str, float],
-                    observations: Dict[str, np.ndarray]) -> None:
+                    observations: Dict[str, np.ndarray],
+                    latencies: Optional[Dict[str, float]] = None
+                    ) -> None:
         """Fold one slot's outcome into the episode totals and update
-        the held observation buffers."""
+        the held observation buffers.
+
+        ``latencies`` carries each slice's simulated end-to-end slot
+        latency (transport + core + edge, ms) -- a *deterministic*
+        signal, unlike the wall-clock ``decision_latency_ms``, which
+        is what makes latency-SLO incident timelines reproducible.
+        Both drive modes (the scalar ``run()`` loop and the fleet's
+        lockstep batch engine) supply it identically.
+        """
         for name, cost in costs.items():
             totals = self._totals[name]
             totals["cost"] += cost
             totals["usage"] += usages[name]
             totals["slots"] += 1
             self._states[name][:] = observations[name]
+            self._slot_counter.inc()
+            self._cost_counter.inc(max(float(cost), 0.0))
+            if latencies is not None:
+                latency = float(latencies[name])
+                self._latency_hist.observe(latency)
+                app = self._apps.get(name)
+                if app is not None:
+                    self._latency_by_app[app].observe(latency)
+        self._slots_recorded += 1
+        if (self.slo is not None
+                and self._slots_recorded % self.slo_every == 0):
+            self.slo.observe(self.telemetry,
+                             at=float(self._slots_recorded))
 
     def end_episode(self) -> None:
         """Close one episode's per-slice SLA accounting."""
@@ -216,11 +264,14 @@ class LoadGenerator:
                 continue
             mean_cost = self._totals[spec.name]["cost"] / slots
             mean_usage = self._totals[spec.name]["usage"] / slots
+            violated = float(mean_cost > spec.sla.cost_threshold)
             self._per_slice_usage.setdefault(spec.name, []).append(
                 mean_usage)
             self._per_slice_violation.setdefault(
-                spec.name, []).append(
-                float(mean_cost > spec.sla.cost_threshold))
+                spec.name, []).append(violated)
+            self._sla_episodes.inc()
+            if violated:
+                self._sla_violations.inc()
 
     def finish_run(self) -> LoadReport:
         """Assemble the :class:`LoadReport` of the driven run."""
@@ -270,6 +321,10 @@ class LoadGenerator:
                     {name: result.usage
                      for name, result in results.items()},
                     {name: result.observation.vector()
+                     for name, result in results.items()},
+                    {name: result.report.transport_latency_ms
+                     + result.report.core_latency_ms
+                     + result.report.edge_latency_ms
                      for name, result in results.items()})
             self.end_episode()
         return self.finish_run()

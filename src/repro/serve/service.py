@@ -127,6 +127,13 @@ class SlicingService:
         Attributes stamped onto every span this service emits (the
         fleet layer passes ``cell``/``scenario`` so traces attribute
         per cell); ignored while tracing is off.
+    slo / slo_every:
+        Optional streaming :class:`~repro.obs.slo.SloEvaluator`:
+        every ``slo_every`` decision batches the service's telemetry
+        is evaluated at logical time = its ``batches`` counter value,
+        appending burn-rate transitions to the evaluator's incident
+        timeline.  The batch counter is a logical axis, so embedders
+        that replay identical request streams get identical timelines.
     """
 
     def __init__(self, snapshot: PolicySnapshot,
@@ -137,8 +144,9 @@ class SlicingService:
                  max_coordination_rounds: int = 8,
                  tolerance: float = 1e-3,
                  rng_seed: Optional[int] = None,
-                 trace_attrs: Optional[Mapping[str, object]] = None
-                 ) -> None:
+                 trace_attrs: Optional[Mapping[str, object]] = None,
+                 slo=None,
+                 slo_every: int = 64) -> None:
         self.snapshot = snapshot
         self.cfg = cfg if cfg is not None else snapshot.config
         self.eta = eta if eta is not None \
@@ -155,6 +163,10 @@ class SlicingService:
         self._max_rounds = max_coordination_rounds
         self._tolerance = tolerance
         self._trace_attrs = dict(trace_attrs or {})
+        if slo_every < 1:
+            raise ValueError("slo_every must be >= 1")
+        self.slo = slo
+        self._slo_every = int(slo_every)
         self._policies: Dict[str, _LearnedPolicy] = {}
         if snapshot.method in ("onslicing", "onrl"):
             for name, payload in snapshot.policies.items():
@@ -266,6 +278,10 @@ class SlicingService:
         tel.histogram("coordination_rounds").observe(rounds)
         for stage, seconds in stages.items():
             tel.histogram(f"stage_{stage}_ms").observe(seconds * 1e3)
+        if self.slo is not None:
+            batches = tel.counter("batches").value
+            if batches % self._slo_every == 0:
+                self.slo.observe(tel, at=float(batches))
         return decisions
 
     def decide_one(self, request: DecisionRequest) -> Decision:

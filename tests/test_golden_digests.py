@@ -38,6 +38,7 @@ GOLDEN_TRACE_DIGESTS = {
     "nr_fixed_mcs": _DEFAULT_TRACES,
     "link_degradation": _DEFAULT_TRACES,
     "latency_surge": _DEFAULT_TRACES,
+    "transport_brownout": _DEFAULT_TRACES,
     "slice_churn": _DEFAULT_TRACES,
     # distinct workloads
     "short_horizon":
