@@ -34,9 +34,15 @@ MIN_SPEEDUP = 3.0
 #: cost more than 5% of serving throughput.
 MAX_SLO_OVERHEAD = 0.05
 
+#: Diagnosis-instrumentation overhead gate: the full observer stack --
+#: burn-rate SLO evaluation *plus* the streaming anomaly detectors,
+#: both at every-batch cadence -- must stay within the same 5%.
+MAX_DIAGNOSE_OVERHEAD = 0.05
+
 
 def _make_service(batching: bool, slo=None,
-                  slo_every: int = 64) -> SlicingService:
+                  slo_every: int = 64,
+                  anomaly=None) -> SlicingService:
     base_cfg = get_scenario("default").build_config()
     snapshot = snapshot_onrl(
         "bench-serve", base_cfg,
@@ -44,7 +50,8 @@ def _make_service(batching: bool, slo=None,
     target = scenario_with_population(get_scenario("default"), SLICES)
     return SlicingService(snapshot, cfg=target.build_config(),
                           batching=batching, rng_seed=0,
-                          slo=slo, slo_every=slo_every)
+                          slo=slo, slo_every=slo_every,
+                          anomaly=anomaly)
 
 
 def _make_requests(service: SlicingService):
@@ -157,3 +164,62 @@ def test_serve_slo_overhead(benchmark):
     assert overhead <= MAX_SLO_OVERHEAD, \
         (f"slo evaluation costs {100.0 * overhead:.1f}% of serving "
          f"throughput (gate: <= {100.0 * MAX_SLO_OVERHEAD:.0f}%)")
+
+
+def test_serve_diagnose_overhead(benchmark):
+    """The full diagnosis instrumentation must be near-free too.
+
+    Same protocol as :func:`test_serve_slo_overhead`, but the guarded
+    service carries the complete observer stack an incident responder
+    would attach: the burn-rate evaluator *and* an
+    :class:`~repro.obs.anomaly.AnomalyMonitor` running the stock
+    detector set, both re-reading the registry after every decision
+    batch.  Decision parity is asserted: observers only read telemetry
+    and must never consume service RNG.
+    """
+    from repro.obs.anomaly import AnomalyMonitor
+    from repro.obs.slo import SloEvaluator, SloObjective, SloSpec
+
+    spec = SloSpec(name="bench-diag", objectives=(
+        SloObjective(name="batch-latency-p99", kind="latency",
+                     instrument="batch_latency_ms", budget_ms=1.0,
+                     fast_window=8.0, slow_window=24.0),
+        SloObjective(name="fallback-rate", kind="ratio",
+                     instrument="fallbacks", total="decisions",
+                     ceiling=0.5, fast_window=8.0, slow_window=24.0),
+    ))
+    plain = _make_service(batching=True)
+    guarded = _make_service(batching=True, slo=SloEvaluator(spec),
+                            slo_every=1, anomaly=AnomalyMonitor())
+    slots = _make_requests(plain)
+    _drive(plain, slots[:1])                              # warm-up
+    _drive(guarded, slots[:1])
+
+    plain_s = min(_drive(plain, slots) for _ in range(2))
+    guarded_s = min((run_once(benchmark, _drive, guarded, slots),
+                     _drive(guarded, slots)))
+
+    sample = slots[0]
+    plain_d = plain.decide(sample)
+    guarded_d = guarded.decide(sample)
+    for name in plain_d:
+        np.testing.assert_allclose(plain_d[name].action,
+                                   guarded_d[name].action,
+                                   atol=1e-9)
+
+    decisions = SLOTS * SLICES
+    plain_rate = decisions / plain_s
+    guarded_rate = decisions / guarded_s
+    overhead = 1.0 - guarded_rate / plain_rate
+    benchmark.extra_info["plain_decisions_per_sec"] = plain_rate
+    benchmark.extra_info["diagnosed_decisions_per_sec"] = guarded_rate
+    benchmark.extra_info["diagnose_overhead_pct"] = 100.0 * overhead
+    print(f"\nDiagnosis instrumentation overhead at slo_every=1 "
+          f"({SLICES} slices, {SLOTS} slots):")
+    print(f"  plain      {plain_rate:12,.0f} decisions/s")
+    print(f"  diagnosed  {guarded_rate:12,.0f} decisions/s "
+          f"({100.0 * overhead:+.1f}%)")
+    assert overhead <= MAX_DIAGNOSE_OVERHEAD, \
+        (f"diagnosis instrumentation costs {100.0 * overhead:.1f}% "
+         f"of serving throughput (gate: <= "
+         f"{100.0 * MAX_DIAGNOSE_OVERHEAD:.0f}%)")

@@ -29,6 +29,8 @@ from typing import Callable, Dict, List, Optional
 from repro.fleet.report import FleetReport, build_report
 from repro.fleet.shard import ShardPlan, ShardResult, run_fleet_shard
 from repro.fleet.spec import CellPlan, FleetSpec
+from repro.obs.diagnose import make_event_hook, replay_shards, \
+    worst_cells
 from repro.obs.slo import IncidentTimeline, SloEvaluator, SloSpec
 from repro.runtime.cache import content_key
 from repro.runtime.serialization import from_jsonable, to_jsonable
@@ -96,21 +98,6 @@ class FleetSloBreach(RuntimeError):
         self.evaluator = evaluator
 
 
-def _fleet_attribution(cells, limit: int = 3) -> List[Dict]:
-    """The worst cells merged so far, as incident attribution rows.
-
-    Deterministic fields only (``p50/p99_latency_ms`` are wall-clock
-    measurements and would unpin the timeline digest); floats rounded
-    the way the digest rounds top-level floats, since attribution rows
-    nest below it.
-    """
-    worst = sorted(cells,
-                   key=lambda c: (-c.violation_rate, c.cell))[:limit]
-    return [{"cell": stats.cell, "scenario": stats.scenario,
-             "violation_rate": round(stats.violation_rate, 9),
-             "fallbacks": stats.fallbacks} for stats in worst]
-
-
 class _SloDriver:
     """Prefix-ordered SLO evaluation over completing shards.
 
@@ -127,8 +114,15 @@ class _SloDriver:
         self.evaluator = evaluator
         self._telemetry = Telemetry()
         self._cells: List = []
+        self._events: Dict[str, tuple] = {}
         self._pending: Dict[int, ShardResult] = {}
         self._next = 0
+        # Incident records cite the injected-event windows of the
+        # scenarios the worst cells ran (the diagnosis layer's event
+        # hook); rows are deterministic, so the timeline digest stays
+        # a pure function of the campaign.
+        if evaluator.attribution_hook is None:
+            evaluator.attribution_hook = make_event_hook(self._events)
 
     def offer(self, result: ShardResult) -> List[Dict]:
         """Buffer one completed shard; evaluate any ready prefix."""
@@ -138,9 +132,12 @@ class _SloDriver:
             shard = self._pending.pop(self._next)
             self._telemetry.merge(shard.telemetry())
             self._cells.extend(shard.cells)
+            for name, rows in getattr(shard, "events", {}).items():
+                self._events.setdefault(
+                    name, tuple(dict(row) for row in rows))
             emitted.extend(self.evaluator.observe(
                 self._telemetry, at=float(self._next + 1),
-                attribution=_fleet_attribution(self._cells)))
+                attribution=worst_cells(self._cells)))
             self._next += 1
         return emitted
 
@@ -167,11 +164,9 @@ def evaluate_checkpoint_slo(checkpoint: "str | FleetCheckpoint",
         checkpoint = load_checkpoint(checkpoint)
     if isinstance(timeline, str):
         timeline = IncidentTimeline(path=timeline)
-    evaluator = SloEvaluator(slo, timeline=timeline)
-    driver = _SloDriver(evaluator)
-    for shard_id in sorted(checkpoint.results):
-        driver.offer(checkpoint.results[shard_id])
-    return evaluator
+    state = replay_shards(checkpoint.results.values(), slo=slo,
+                          timeline=timeline)
+    return state.evaluator
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ decisions the shard served.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.fleet.spec import CellPlan, FleetSpec
@@ -66,6 +66,12 @@ class ShardResult:
     #: Merged histogram states (:meth:`Histogram.state`) by name.
     histograms: Dict[str, Dict]
     elapsed_s: float
+    #: Resolved injected-event timelines by scenario name
+    #: (:meth:`~repro.scenarios.ScenarioSpec.event_timeline` rows for
+    #: every scenario this shard ran) -- the diagnosis layer's "what
+    #: was injected when".  Defaults empty so checkpoints written
+    #: before event capture still decode.
+    events: Dict[str, Tuple[Dict, ...]] = field(default_factory=dict)
 
     @property
     def decisions(self) -> int:
@@ -185,9 +191,12 @@ def run_fleet_shard(plan: ShardPlan,
         aggregate = Telemetry()
         generators = []
         telemetries = []
+        events: Dict[str, Tuple[Dict, ...]] = {}
         for cell in plan.cells:
             scenario = plan.spec.cell_scenario(
                 plan.scenarios[cell.scenario])
+            if cell.scenario not in events:
+                events[cell.scenario] = scenario.event_timeline()
             telemetry = Telemetry()
             telemetries.append(telemetry)
             generators.append(LoadGenerator(
@@ -229,4 +238,5 @@ def run_fleet_shard(plan: ShardPlan,
                   in aggregate.counters().items()},
         histograms={name: histogram.state() for name, histogram
                     in aggregate.histograms().items()},
-        elapsed_s=time.perf_counter() - start)
+        elapsed_s=time.perf_counter() - start,
+        events=events)

@@ -28,6 +28,14 @@ repo:
   ``repro obs watch`` renders live health (:mod:`repro.obs.monitor`),
   ``repro obs incidents`` queries timelines, and ``fleet run --slo``
   evaluates at every shard-checkpoint boundary.
+* :mod:`repro.obs.anomaly` + :mod:`repro.obs.diagnose` -- the
+  diagnosis layer: contract-free streaming anomaly detectors (robust
+  z-score spikes, level shifts) and the root-cause attribution engine
+  that joins SLO breaches with injected scenario events, fallback /
+  admission counter taxonomies and serve-stage histograms into a
+  ranked-hypothesis :class:`DiagnosisReport` with a shard-count-
+  invariant digest.  ``repro obs diagnose`` renders it, ``fleet run
+  --diagnose`` attaches it to a campaign.
 
 Import discipline: this package depends only on the standard library
 and numpy, so every other layer (engine, serve, fleet, runtime) can
@@ -40,10 +48,24 @@ trace`` or ``from repro.obs.trace import trace``, and the module via
 configure/rollup API wholesale.
 """
 
+from repro.obs.anomaly import (
+    AnomalyMonitor,
+    DetectorSpec,
+    StreamingDetector,
+    default_detectors,
+)
 from repro.obs.bench import (
     compare as compare_bench,
     load_dir as load_bench_dir,
     record_result as record_bench_result,
+)
+from repro.obs.diagnose import (
+    DiagnosisReport,
+    Hypothesis,
+    diagnose_fleet,
+    diagnose_telemetry,
+    replay_shards,
+    worst_cells,
 )
 from repro.obs.metrics import (
     Counter,
@@ -71,25 +93,35 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AnomalyMonitor",
     "Counter",
+    "DetectorSpec",
+    "DiagnosisReport",
     "Gauge",
     "Histogram",
+    "Hypothesis",
     "IncidentTimeline",
     "KernelProfiler",
     "ObjectiveStatus",
     "SloEvaluator",
     "SloObjective",
     "SloSpec",
+    "StreamingDetector",
     "Telemetry",
     "Tracer",
     "compare_bench",
     "configure_tracing",
     "configure_tracing_from_env",
+    "default_detectors",
     "default_slo_spec",
+    "diagnose_fleet",
+    "diagnose_telemetry",
     "disable_tracing",
     "load_bench_dir",
     "read_rollup",
     "record_bench_result",
+    "replay_shards",
     "rollup_digest",
     "trace",
+    "worst_cells",
 ]

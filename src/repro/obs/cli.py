@@ -21,6 +21,13 @@ that need them.
 * ``obs incidents`` -- query an incident timeline JSONL: filter by
   objective / severity / event, print the table or the raw records
   plus the timeline digest.
+* ``obs diagnose`` -- root-cause attribution: replay a fleet
+  checkpoint (or read a telemetry export) through the diagnosis
+  engine and print the ranked hypotheses explaining each SLO breach,
+  with a shard-count-invariant report digest.
+* ``obs slo-compare`` -- canary verdict between two fleet
+  checkpoints: exits 3 when the candidate regresses any objective
+  beyond the tolerance (the auto-rollback gate).
 """
 
 from __future__ import annotations
@@ -119,6 +126,44 @@ def add_obs_parser(subparsers) -> None:
                        dest="no_clear",
                        help="do not clear the terminal between frames")
 
+    diagnose = obs_sub.add_parser(
+        "diagnose", help="root-cause attribution over a fleet "
+                         "checkpoint or telemetry exports")
+    diagnose.add_argument(
+        "path", help="fleet checkpoint JSONL, or a telemetry JSONL "
+                     "export dir/file (auto-detected)")
+    diagnose.add_argument(
+        "--slo", default="default", metavar="SPEC",
+        help="'default' for the stock contract or a tagged-JSON "
+             "SloSpec file")
+    diagnose.add_argument(
+        "--incident", default=None, metavar="OBJECTIVE",
+        help="diagnose only this objective's breach")
+    diagnose.add_argument("--top", type=int, default=5, metavar="N",
+                          help="hypotheses to print (default: 5; "
+                               "0 = all)")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit the tagged DiagnosisReport + "
+                               "digest as JSON")
+
+    slo_compare = obs_sub.add_parser(
+        "slo-compare", help="canary verdict: compare two fleet "
+                            "checkpoints objective by objective")
+    slo_compare.add_argument("incumbent",
+                             help="incumbent fleet checkpoint JSONL")
+    slo_compare.add_argument("candidate",
+                             help="candidate fleet checkpoint JSONL")
+    slo_compare.add_argument(
+        "--slo", default="default", metavar="SPEC",
+        help="'default' for the stock contract or a tagged-JSON "
+             "SloSpec file")
+    slo_compare.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative SLI slack the candidate is allowed "
+             "(default: 0.10)")
+    slo_compare.add_argument("--json", action="store_true",
+                             help="emit the verdict as JSON")
+
     incidents = obs_sub.add_parser(
         "incidents", help="query an incident timeline JSONL")
     incidents.add_argument("path", help="incident timeline file")
@@ -145,6 +190,10 @@ def run_obs(args: argparse.Namespace) -> int:
         return _run_watch(args)
     if args.obs_command == "incidents":
         return _run_incidents(args)
+    if args.obs_command == "diagnose":
+        return _run_diagnose(args)
+    if args.obs_command == "slo-compare":
+        return _run_slo_compare(args)
     raise SystemExit(f"unknown obs command {args.obs_command!r}")
 
 
@@ -293,24 +342,36 @@ def _render_watch_frame(args: argparse.Namespace, spec) -> int:
     from repro.obs import monitor
 
     if args.checkpoint is not None:
-        from repro.fleet import evaluate_checkpoint_slo
+        from repro.fleet import load_checkpoint
+        from repro.obs.anomaly import AnomalyMonitor
+        from repro.obs.diagnose import replay_shards
 
         try:
-            evaluator = evaluate_checkpoint_slo(args.checkpoint, spec)
+            checkpoint = load_checkpoint(args.checkpoint)
         except OSError as exc:
             print(f"cannot read checkpoint: {exc}", file=sys.stderr)
             return 2
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        state = replay_shards(checkpoint.results.values(), slo=spec,
+                              monitor=AnomalyMonitor())
+        evaluator = state.evaluator
+        anomalies = state.monitor.anomalies()
         if args.json:
-            print(json.dumps(monitor.frame_payload(evaluator),
-                             indent=2))
+            print(json.dumps(monitor.frame_payload(
+                evaluator, anomalies=anomalies), indent=2))
         else:
             print(monitor.render_frame(
                 f"fleet health -- {args.checkpoint} "
-                f"[slo {spec.name}]", evaluator))
+                f"[slo {spec.name}]", evaluator,
+                anomalies=anomalies))
         return 0
+    if not os.path.exists(args.telemetry_dir):
+        print(f"no telemetry exports at {args.telemetry_dir!r} "
+              "(run serve/loadgen with --telemetry-dir first)",
+              file=sys.stderr)
+        return 2
     try:
         rows = monitor.read_telemetry_export(args.telemetry_dir)
     except OSError as exc:
@@ -387,3 +448,116 @@ def _run_incidents(args: argparse.Namespace) -> int:
     print(f"\n{len(kept)}/{len(timeline.records)} record(s), "
           f"timeline digest {timeline.digest()[:16]}")
     return 0
+
+
+def _filter_report(report, objective: str):
+    """Restrict a DiagnosisReport to one objective's breach (the
+    ``--incident`` flag); returns None when it never breached."""
+    import dataclasses
+
+    incidents = tuple(row for row in report.incidents
+                      if row["objective"] == objective)
+    if not incidents:
+        return None
+    return dataclasses.replace(
+        report, incidents=incidents,
+        hypotheses=tuple(h for h in report.hypotheses
+                         if h.incident == objective))
+
+
+def _run_diagnose(args: argparse.Namespace) -> int:
+    from repro.obs import monitor
+    from repro.obs.diagnose import (diagnose_fleet, diagnose_telemetry,
+                                    format_report)
+
+    spec = load_slo_spec(args.slo)
+    if not os.path.exists(args.path):
+        print(f"nothing to diagnose at {args.path!r} (pass a fleet "
+              "checkpoint JSONL or a telemetry export dir)",
+              file=sys.stderr)
+        return 2
+    report = None
+    if not os.path.isdir(args.path):
+        from repro.fleet import load_checkpoint
+
+        try:
+            checkpoint = load_checkpoint(args.path)
+        except OSError as exc:
+            print(f"cannot read {args.path!r}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError:
+            checkpoint = None       # not a checkpoint: telemetry file
+        if checkpoint is not None:
+            report = diagnose_fleet(
+                checkpoint.results.values(), spec,
+                fleet=checkpoint.spec.name,
+                snapshot_ref=checkpoint.snapshot_ref,
+                snapshot_digest=checkpoint.snapshot_digest)
+    if report is None:
+        try:
+            rows = monitor.read_telemetry_export(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read telemetry exports: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not rows:
+            print(f"no telemetry exports under {args.path!r} "
+                  "(run serve/loadgen with --telemetry-dir first)",
+                  file=sys.stderr)
+            return 2
+        report = diagnose_telemetry(rows, spec, label=args.path)
+    if args.incident is not None:
+        filtered = _filter_report(report, args.incident)
+        if filtered is None:
+            known = ", ".join(row["objective"]
+                              for row in report.incidents) or "none"
+            print(f"objective {args.incident!r} has no breach to "
+                  f"diagnose (breached: {known})", file=sys.stderr)
+            return 2
+        report = filtered
+    if args.json:
+        from repro.runtime.serialization import to_jsonable
+
+        print(json.dumps({"digest": report.digest(),
+                          "report": to_jsonable(report)}, indent=2))
+    else:
+        print(format_report(report, top=args.top))
+    return 0
+
+
+def _run_slo_compare(args: argparse.Namespace) -> int:
+    from repro.fleet import load_checkpoint
+    from repro.obs.diagnose import replay_shards
+    from repro.obs.slo import SloEvaluator
+
+    spec = load_slo_spec(args.slo)
+    registries = []
+    for role, path in (("incumbent", args.incumbent),
+                       ("candidate", args.candidate)):
+        try:
+            checkpoint = load_checkpoint(path)
+        except OSError as exc:
+            print(f"cannot read {role} checkpoint: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"{role}: {exc}", file=sys.stderr)
+            return 2
+        registries.append(
+            replay_shards(checkpoint.results.values()).telemetry)
+    verdict = SloEvaluator(spec).compare(
+        registries[0], registries[1], tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(verdict, indent=2))
+    else:
+        print(f"slo-compare -- {args.candidate} vs {args.incumbent} "
+              f"[slo {spec.name}, tolerance {verdict['tolerance']}]")
+        for row in verdict["rows"]:
+            flag = "ok" if row["ok"] else "REGRESSED"
+            print(f"  {row['objective']:<22} {flag:>9}  "
+                  f"incumbent {row['incumbent']:.6f}  "
+                  f"candidate {row['candidate']:.6f}")
+        print("candidate verdict: "
+              + ("pass" if verdict["candidate_ok"] else
+                 "REGRESSION -- roll back"))
+    return 0 if verdict["candidate_ok"] else 3

@@ -71,9 +71,17 @@ def format_open_incidents(timeline: IncidentTimeline) -> str:
     lines = [f"{len(open_incidents)} open incident(s):"]
     for name in sorted(open_incidents):
         record = open_incidents[name]
-        attribution = ", ".join(
-            f"cell {row.get('cell')} ({row.get('scenario')})"
-            for row in record.get("attribution", [])[:3])
+        rows = record.get("attribution", [])
+        # cell rows (worst offenders) and injected-event rows (the
+        # diagnosis hook) share the attribution list; render each in
+        # its own idiom
+        parts = [f"cell {row.get('cell')} ({row.get('scenario')})"
+                 for row in rows if "cell" in row][:3]
+        parts.extend(
+            f"{row['event']}@slots "
+            f"{row['start_slot']}-{row['end_slot']}"
+            for row in rows if "event" in row)
+        attribution = ", ".join(parts)
         lines.append(
             f"  [{record['severity']}] {record['incident']} "
             f"since t={record['at']:g} "
@@ -82,22 +90,44 @@ def format_open_incidents(timeline: IncidentTimeline) -> str:
     return "\n".join(lines)
 
 
-def render_frame(title: str, evaluator: SloEvaluator) -> str:
-    """One full dashboard frame (statuses + open incidents)."""
-    return "\n".join([
+def format_anomalies(points: Sequence[Dict],
+                     limit: int = 6) -> str:
+    """The active-anomalies pane: the newest flagged detector points
+    (see :meth:`repro.obs.anomaly.AnomalyMonitor.anomalies`)."""
+    if not points:
+        return "no anomalies flagged"
+    lines = [f"{len(points)} anomalous point(s):"]
+    for point in points[-limit:]:
+        lines.append(
+            f"  [{'/'.join(point['kinds'])}] {point['detector']} "
+            f"at t={point['at']:g} value {point['value']:.4f} "
+            f"z {point['z']:.1f} shift {point['shift']:.1f}")
+    return "\n".join(lines)
+
+
+def render_frame(title: str, evaluator: SloEvaluator,
+                 anomalies: Optional[Sequence[Dict]] = None) -> str:
+    """One full dashboard frame (statuses + open incidents + the
+    anomalies pane when an anomaly feed is attached)."""
+    lines = [
         title,
         "=" * len(title),
         format_statuses(evaluator.statuses()),
         "",
         format_open_incidents(evaluator.timeline),
+    ]
+    if anomalies is not None:
+        lines.extend(["", format_anomalies(anomalies)])
+    lines.append(
         f"timeline: {len(evaluator.timeline.records)} record(s), "
-        f"digest {evaluator.timeline.digest()[:16]}",
-    ])
+        f"digest {evaluator.timeline.digest()[:16]}")
+    return "\n".join(lines)
 
 
-def frame_payload(evaluator: SloEvaluator) -> Dict:
+def frame_payload(evaluator: SloEvaluator,
+                  anomalies: Optional[Sequence[Dict]] = None) -> Dict:
     """Machine-readable frame (the ``watch --json`` shape CI pins)."""
-    return {
+    payload = {
         "spec": evaluator.spec.name,
         "digest": evaluator.timeline.digest(),
         "records": len(evaluator.timeline.records),
@@ -113,6 +143,9 @@ def frame_payload(evaluator: SloEvaluator) -> Dict:
         "incidents": [dict(record)
                       for record in evaluator.timeline.records],
     }
+    if anomalies is not None:
+        payload["anomalies"] = [dict(point) for point in anomalies]
+    return payload
 
 
 # ---- point-in-time health from telemetry JSONL exports ---------------
@@ -231,9 +264,14 @@ def format_incidents(records: Sequence[Dict],
     lines = [f"{'seq':>4} {'t':>8} {'event':<8} {'sev':<5} "
              f"{'incident':<26} {'burn f/s':>13}  attribution"]
     for record in kept:
-        attribution = ", ".join(
-            f"cell {row.get('cell')}:{row.get('scenario')}"
-            for row in record.get("attribution", [])[:3])
+        rows = record.get("attribution", [])
+        parts = [f"cell {row.get('cell')}:{row.get('scenario')}"
+                 for row in rows if "cell" in row][:3]
+        parts.extend(
+            f"{row['event']}@slots "
+            f"{row['start_slot']}-{row['end_slot']}"
+            for row in rows if "event" in row)
+        attribution = ", ".join(parts)
         lines.append(
             f"{record['seq']:>4} {record['at']:>8g} "
             f"{record['event']:<8} {str(record['severity']):<5} "

@@ -371,10 +371,20 @@ class SloEvaluator:
     """
 
     def __init__(self, spec: SloSpec,
-                 timeline: Optional[IncidentTimeline] = None) -> None:
+                 timeline: Optional[IncidentTimeline] = None,
+                 attribution_hook: Optional[
+                     Callable[[SloObjective, Dict], Sequence[Dict]]]
+                 = None) -> None:
         self.spec = spec
         self.timeline = timeline if timeline is not None \
             else IncidentTimeline()
+        #: Called with (objective, record) for every open/update/
+        #: resolve transition; the dict rows it returns are appended
+        #: to the record's attribution.  Rows enter the timeline
+        #: digest, so hooks must emit deterministic fields only (the
+        #: diagnosis layer's event hook attaches scenario event
+        #: windows this way).
+        self.attribution_hook = attribution_hook
         self._samples: Dict[str, List[Tuple[float, float, float]]] = \
             {o.name: [] for o in spec.objectives}
         self._status: Dict[str, ObjectiveStatus] = \
@@ -522,6 +532,10 @@ class SloEvaluator:
                 "attribution": [dict(row) for row in attribution]
                 if attribution else [],
             }
+            if self.attribution_hook is not None:
+                record["attribution"].extend(
+                    dict(row) for row in
+                    self.attribution_hook(objective, record))
             if exemplars:
                 record["exemplars"] = exemplars
             emitted.append(self.timeline.append(record))

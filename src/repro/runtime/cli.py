@@ -34,7 +34,8 @@ Subcommands
     without running anything.  ``--slo SPEC`` judges every
     shard-checkpoint boundary against a declarative health contract
     (burn-rate alerting; ``--slo-timeline`` streams the incident
-    records, ``--fail-fast`` exits 4 on a sustained page burn).
+    records, ``--fail-fast`` exits 4 on a sustained page burn,
+    ``--diagnose`` appends the ranked root-cause hypotheses).
 ``fuzz run / fuzz shrink / fuzz sweep``
     Scenario fuzzing: ``run`` generates a seeded spec corpus
     (``--seed``/``--count``) and oracle-checks it across methods --
@@ -58,7 +59,8 @@ Subcommands
 ``cache``
     Inspect (``info``), drop (``clear``) or size-bound (``prune
     --max-size``) the on-disk result cache.
-``obs report / obs compare / obs profile / obs watch / obs incidents``
+``obs report / compare / profile / watch / incidents / diagnose /
+slo-compare``
     Observability tooling: ``report`` rolls merged trace files (from
     ``REPRO_TRACE_DIR`` or ``fleet run --trace-dir``) into a
     flamegraph-style span tree with an attributed-span digest;
@@ -69,7 +71,12 @@ Subcommands
     health board (burn sparklines, open incidents) from a fleet
     checkpoint or a serving telemetry export; ``incidents`` queries
     an SLO incident timeline (filter by objective/severity/event)
-    and prints its deterministic digest.
+    and prints its deterministic digest; ``diagnose`` replays a fleet
+    checkpoint through the root-cause attribution engine and ranks
+    the hypotheses behind each SLO breach (injected scenario events,
+    fallback storms, snapshot regressions); ``slo-compare`` renders
+    the canary verdict between two checkpoints (exit 3 on
+    regression).
 
 Examples
 --------
@@ -102,6 +109,10 @@ Examples
     python -m repro obs profile --scenario flash_crowd --alloc
     python -m repro obs watch --checkpoint fleet.jsonl --once
     python -m repro obs incidents incidents.jsonl --severity page
+    python -m repro obs diagnose fleet.jsonl --top 3
+    python -m repro obs slo-compare incumbent.jsonl candidate.jsonl
+    python -m repro fleet run --cells 8 --slo default \
+        --checkpoint fleet.jsonl --diagnose
     python -m repro loadgen --scenario flash_crowd --slo default
 """
 
@@ -412,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="with --slo: abort (exit 4) the "
                                 "moment an objective sustains a "
                                 "page-severity burn")
+    fleet_run.add_argument("--diagnose", action="store_true",
+                           help="after the run, replay the checkpoint "
+                                "through the diagnosis engine and "
+                                "print the ranked root-cause "
+                                "hypotheses (needs --checkpoint)")
     fleet_run.add_argument("--json", action="store_true",
                            dest="as_json")
     fleet_report = fleet_sub.add_parser(
@@ -809,6 +825,9 @@ def _run_fleet(args) -> int:
     elif args.slo_timeline or args.fail_fast:
         raise SystemExit("--slo-timeline/--fail-fast need --slo (pass "
                          "--slo default for the stock contract)")
+    if args.diagnose and not args.checkpoint:
+        raise SystemExit("--diagnose needs --checkpoint (the "
+                         "diagnosis replays the checkpoint's shards)")
     try:
         spec = FleetSpec(name=args.name, cells=args.cells,
                          scenarios=scenario_names or (),
@@ -861,8 +880,35 @@ def _run_fleet(args) -> int:
         print(f"trace spans in {args.trace_dir} (roll up with "
               f"'python -m repro obs report {args.trace_dir}')",
               file=sys.stderr)
-    print(_fleet_json(report) if args.as_json
-          else format_report(report))
+    diagnosis = None
+    if args.diagnose:
+        from repro.fleet import load_checkpoint as _load_ckpt
+        from repro.obs.diagnose import diagnose_fleet
+        from repro.obs.slo import default_slo_spec
+
+        checkpoint = _load_ckpt(args.checkpoint)
+        diagnosis = diagnose_fleet(
+            checkpoint.results.values(),
+            slo_spec if slo_spec is not None else default_slo_spec(),
+            fleet=spec.name,
+            snapshot_ref=checkpoint.snapshot_ref,
+            snapshot_digest=checkpoint.snapshot_digest)
+    if args.as_json:
+        payload = json.loads(_fleet_json(report))
+        if diagnosis is not None:
+            from repro.runtime.serialization import to_jsonable
+
+            payload["diagnosis"] = {"digest": diagnosis.digest(),
+                                    "report": to_jsonable(diagnosis)}
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_report(report))
+        if diagnosis is not None:
+            from repro.obs.diagnose import format_report as \
+                format_diagnosis
+
+            print()
+            print(format_diagnosis(diagnosis))
     return 0
 
 

@@ -46,6 +46,7 @@ from repro.config import (
     TransportConfig,
 )
 from repro.experiments.metrics import MethodResult, TrajectoryPoint
+from repro.obs.diagnose import DiagnosisReport, Hypothesis
 from repro.obs.slo import SloObjective, SloSpec
 from repro.scenarios import (
     EVENT_TYPES,
@@ -69,6 +70,8 @@ DATACLASS_TYPES = {
         ScenarioSpec, SliceTemplate, *TRAFFIC_MODEL_TYPES, *EVENT_TYPES,
         # the SLO object graph (health contracts pin like scenarios)
         SloObjective, SloSpec,
+        # the diagnosis object graph (reports ship as artifacts)
+        DiagnosisReport, Hypothesis,
     )
 }
 

@@ -12,9 +12,10 @@ build time, never at declaration time.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -105,6 +106,43 @@ class ScenarioSpec:
                     f"duplicate slice names in population: {names}")
             kwargs["slices"] = specs
         return ExperimentConfig(**kwargs)
+
+    def event_timeline(self, horizon: Optional[int] = None
+                       ) -> Tuple[Dict, ...]:
+        """The resolved event schedule as plain JSON-safe rows.
+
+        Each row carries the event ``kind``, its concrete
+        ``start_slot`` / ``end_slot`` under ``horizon`` (defaulting to
+        the spec's own episode length), the fractional placement it
+        was resolved from, and the event's remaining parameters under
+        ``params``.  This is the shard-checkpoint / diagnosis view of
+        "what was injected when" -- slot rounding goes through
+        :func:`~repro.scenarios.events.slot_window` via the event
+        methods, so it matches what the simulator executes exactly.
+        """
+        if horizon is None:
+            traffic = self.traffic_cfg if self.traffic_cfg is not None \
+                else TrafficConfig()
+            horizon = traffic.slots_per_episode
+        rows = []
+        for event in self.events:
+            params = {
+                name: getattr(event, name)
+                for name in sorted(
+                    f.name for f in dataclasses.fields(event))
+                if name not in ("at_fraction", "duration_fraction")
+            }
+            rows.append({
+                "kind": event.kind,
+                "start_slot": event.start_slot(horizon),
+                "end_slot": event.end_slot(horizon),
+                "at_fraction": event.at_fraction,
+                "duration_fraction": event.duration_fraction,
+                "params": params,
+            })
+        rows.sort(key=lambda row: (row["start_slot"], row["end_slot"],
+                                   row["kind"]))
+        return tuple(rows)
 
     def build_simulator(self, cfg: Optional[ExperimentConfig] = None,
                         rng=None):

@@ -169,6 +169,15 @@ class LoadGenerator:
         self._cost_counter = tel.counter("slice_cost_total")
         self._sla_episodes = tel.counter("sla_episodes")
         self._sla_violations = tel.counter("sla_violations")
+        # per-app SLA taxonomy, mirroring the latency-by-app split, so
+        # diagnosis can tell which application template is breaching
+        apps = sorted(set(self._apps.values()))
+        self._sla_episodes_by_app = {
+            app: tel.counter("sla_episodes", {"app": app})
+            for app in apps}
+        self._sla_violations_by_app = {
+            app: tel.counter("sla_violations", {"app": app})
+            for app in apps}
 
     @property
     def want_more_episodes(self) -> bool:
@@ -270,8 +279,13 @@ class LoadGenerator:
             self._per_slice_violation.setdefault(
                 spec.name, []).append(violated)
             self._sla_episodes.inc()
+            app = self._apps.get(spec.name)
+            if app is not None:
+                self._sla_episodes_by_app[app].inc()
             if violated:
                 self._sla_violations.inc()
+                if app is not None:
+                    self._sla_violations_by_app[app].inc()
 
     def finish_run(self) -> LoadReport:
         """Assemble the :class:`LoadReport` of the driven run."""

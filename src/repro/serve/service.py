@@ -134,6 +134,11 @@ class SlicingService:
         appending burn-rate transitions to the evaluator's incident
         timeline.  The batch counter is a logical axis, so embedders
         that replay identical request streams get identical timelines.
+    anomaly:
+        Optional :class:`~repro.obs.anomaly.AnomalyMonitor`, stepped
+        on the same ``slo_every`` cadence and logical axis as ``slo``
+        (either may be set without the other) -- the serve-side feed
+        for the ``obs watch`` anomalies pane.
     """
 
     def __init__(self, snapshot: PolicySnapshot,
@@ -146,7 +151,8 @@ class SlicingService:
                  rng_seed: Optional[int] = None,
                  trace_attrs: Optional[Mapping[str, object]] = None,
                  slo=None,
-                 slo_every: int = 64) -> None:
+                 slo_every: int = 64,
+                 anomaly=None) -> None:
         self.snapshot = snapshot
         self.cfg = cfg if cfg is not None else snapshot.config
         self.eta = eta if eta is not None \
@@ -166,7 +172,12 @@ class SlicingService:
         if slo_every < 1:
             raise ValueError("slo_every must be >= 1")
         self.slo = slo
+        self.anomaly = anomaly
         self._slo_every = int(slo_every)
+        #: Lazily-created ``fallbacks{cause=...}`` counters: created
+        #: only when a cause is first seen, so snapshots of healthy
+        #: services carry no zero-valued taxonomy instruments.
+        self._fallback_causes: Dict[str, object] = {}
         self._policies: Dict[str, _LearnedPolicy] = {}
         if snapshot.method in ("onslicing", "onrl"):
             for name, payload in snapshot.policies.items():
@@ -189,6 +200,19 @@ class SlicingService:
         call this at each reset.
         """
         self._switched.clear()
+
+    def _count_fallback(self, name: str) -> None:
+        """Attribute one fallback decision to its cause: a fresh Eq. 8
+        trigger (``eq8``) or the one-way door holding a previously
+        switched slice on pi_b (``latched``).  Callers invoke this
+        *before* latching ``name`` into ``_switched``."""
+        cause = "latched" if name in self._switched else "eq8"
+        counter = self._fallback_causes.get(cause)
+        if counter is None:
+            counter = self.telemetry.counter("fallbacks",
+                                             {"cause": cause})
+            self._fallback_causes[cause] = counter
+        counter.inc()
 
     # ---- routing -----------------------------------------------------
 
@@ -271,6 +295,12 @@ class SlicingService:
             sum(d.fallback for d in decisions.values()))
         if projected:
             tel.counter("projections").inc()
+        # Admission taxonomy: every request in the batch was admitted,
+        # either at the coordinator's prices alone or only after the
+        # final capacity projection clipped the batch.
+        tel.counter("admissions",
+                    {"outcome": "projected" if projected
+                     else "priced"}).inc(len(requests))
         tel.histogram("batch_size").observe(len(requests))
         tel.histogram("batch_latency_ms").observe(elapsed_ms)
         tel.histogram("decision_latency_ms").observe(
@@ -278,10 +308,13 @@ class SlicingService:
         tel.histogram("coordination_rounds").observe(rounds)
         for stage, seconds in stages.items():
             tel.histogram(f"stage_{stage}_ms").observe(seconds * 1e3)
-        if self.slo is not None:
+        if self.slo is not None or self.anomaly is not None:
             batches = tel.counter("batches").value
             if batches % self._slo_every == 0:
-                self.slo.observe(tel, at=float(batches))
+                if self.slo is not None:
+                    self.slo.observe(tel, at=float(batches))
+                if self.anomaly is not None:
+                    self.anomaly.observe(tel, at=float(batches))
         return decisions
 
     def decide_one(self, request: DecisionRequest) -> Decision:
@@ -339,6 +372,7 @@ class SlicingService:
                 for i, (name, state) in enumerate(entries):
                     fallback = name in self._switched or bool(flags[i])
                     if fallback:
+                        self._count_fallback(name)
                         self._switched.add(name)
                         action = np.asarray(
                             policy.baseline.act_vector(state),
@@ -378,6 +412,7 @@ class SlicingService:
             fallback = (request.slice_name in self._switched
                         or bool(self._fallback_flags(policy, single)[0]))
             if fallback:
+                self._count_fallback(request.slice_name)
                 self._switched.add(request.slice_name)
                 action = np.asarray(policy.baseline.act_vector(state),
                                     dtype=float)

@@ -73,8 +73,10 @@ LATENCY_SPEC = SloSpec(name="lat-160", objectives=(
 
 #: The digest of the timeline LATENCY_SPEC produces over SPEC with the
 #: module's seed-11 snapshot -- pinned like a golden trace digest.
+#: (Re-pinned when the diagnosis layer's event hook started appending
+#: injected-event windows to incident attribution.)
 PINNED_TIMELINE_DIGEST = \
-    "e375802a58be694d264d461a072d82db023bbe5f78e189395f6e96bfb6b57707"
+    "5a2f24c9ff3804dadf4e5fb98fc59cda323a48c5235162de19a3b840fe5c3aae"
 
 
 @pytest.fixture(scope="module")
