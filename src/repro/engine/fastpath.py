@@ -1,0 +1,110 @@
+"""Opt-in fast tier for the vector engine (``--engine vector-fast``).
+
+The float64 arena path (the ``vector`` engine) is the bit-exact parity
+oracle: every golden trace digest is pinned against it and it is the
+only digest-bearing configuration.  This module supplies the *fast*
+tier layered on top of the same kernels:
+
+* **float32 arithmetic** -- :func:`make_fast_arena` returns a
+  :class:`~repro.engine.arena.KernelArena` whose default dtype is
+  ``float32``.  The kernels allocate every temporary through the
+  arena, cast their inputs via ``_cast_in`` and read static row
+  constants through :meth:`KernelArena.rows_view`, so a single dtype
+  switch moves the whole slot evaluation to single precision (half the
+  memory traffic on the wide ``(R, U)`` stages).
+* **optional numba JIT** -- when :mod:`numba` is importable, the M/M/1
+  + knee queueing chain (seven ufunc passes over the same buffer) is
+  collapsed into one compiled loop and attached to the arena as
+  ``arena.jit``; ``repro.engine.kernels._queueing_rows`` consults that
+  hook.  numba is **not** a dependency: without it the fast tier is
+  plain float32 numpy, and the numba-specific tests are skip-marked.
+
+Accuracy contract: the fast tier agrees with float64 within the
+tolerances pinned by ``tests/test_engine_fast.py`` (relative ~1e-4 on
+finite latencies/satisfactions over the full scenario catalog and the
+fuzz corpus).  It must never be used to (re)generate golden digests --
+``EXPERIMENTS.md`` documents the policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.arena import KernelArena
+from repro.sim.queueing import RHO_KNEE
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default container path
+    numba = None
+    HAVE_NUMBA = False
+
+
+#: Accuracy contract of the fast tier against the float64 oracle,
+#: applied to per-slot costs/usages and their episode means: a fast
+#: value ``x`` matches an oracle value ``y`` when
+#: ``|x - y| <= FAST_RTOL * |y| + FAST_ATOL``.  float32 carries ~7
+#: significant digits; the slot kernels chain a few dozen ufuncs, so
+#: ~1e-4 relative error is the expected scale and these bounds leave
+#: an order of magnitude of headroom.  Pinned over the full scenario
+#: catalog and the fuzz corpus by ``tests/test_engine_fast.py`` and
+#: enforced by the fuzz oracle's tolerance mode
+#: (:func:`repro.experiments.fuzz.run_fuzz_batch` with
+#: ``engine="vector-fast"``).
+FAST_RTOL = 5e-3
+FAST_ATOL = 2e-3
+
+
+_QUEUEING_JIT = None
+
+
+def _build_queueing_jit():
+    """Compile the fused M/M/1 + knee loop (numba required)."""
+    knee = float(RHO_KNEE)
+    hi = 1.0 / (1.0 - knee)
+    slope = hi * hi
+
+    @numba.njit(cache=False, fastmath=False)
+    def queueing(service_ms, rho, out):  # pragma: no cover - jit body
+        for i in range(out.size):
+            r = rho[i]
+            if r < 0.0:
+                r = 0.0
+            s = service_ms[i]
+            if r < knee:
+                out[i] = s / (1.0 - r)
+            else:
+                out[i] = s * hi + s * slope * (r - knee)
+
+    return queueing
+
+
+def queueing_jit():
+    """The compiled queueing kernel, built once (``None`` sans numba)."""
+    global _QUEUEING_JIT
+    if not HAVE_NUMBA:
+        return None
+    if _QUEUEING_JIT is None:
+        _QUEUEING_JIT = _build_queueing_jit()
+    return _QUEUEING_JIT
+
+
+def make_fast_arena() -> KernelArena:
+    """Arena backing the ``vector-fast`` engine tier.
+
+    float32 buffers; when numba is available the fused queueing kernel
+    rides along as ``arena.jit`` (consumed by ``_queueing_rows``).
+    Falls back to pure float32 numpy otherwise -- ``vector-fast``
+    always works.
+    """
+    arena = KernelArena(np.float32)
+    jit = queueing_jit()
+    if jit is not None:
+        arena.jit = jit
+    return arena
+
+
+__all__ = ["FAST_ATOL", "FAST_RTOL", "HAVE_NUMBA",
+           "make_fast_arena", "queueing_jit"]

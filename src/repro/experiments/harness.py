@@ -112,18 +112,21 @@ def run_episodes(simulators: List[ScenarioSimulator], policy,
     advance in lockstep through one
     :class:`~repro.engine.batch.BatchSimulator`, with
     ``engine="scalar"`` each world runs the classic per-slot loop.
-    Both engines traverse the same kernels, so their results are
-    bit-identical -- the parity suite asserts it.
+    Both traverse the same kernels, so their results are bit-identical
+    -- the parity suite asserts it.  ``"vector-compat"`` is the
+    allocating reference tier (same bits, no arena reuse) and
+    ``"vector-fast"`` the float32/numba tier (fast, *not*
+    bit-identical; see :mod:`repro.engine.fastpath`).
 
     Returns ``result[world][episode][slice] == {"cost": total,
     "usage": total}`` (sum over the episode's slots).
     """
-    from repro.engine.batch import BatchSimulator
+    from repro.engine.batch import BATCH_ENGINES, BatchSimulator
     from repro.engine.policies import project_actions_batch
 
-    if engine not in ("scalar", "vector"):
-        raise ValueError(f"unknown engine {engine!r}; "
-                         "expected 'scalar' or 'vector'")
+    if engine != "scalar" and engine not in BATCH_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected "
+                         f"'scalar' or one of {BATCH_ENGINES}")
     if episodes < 1:
         raise ValueError("episodes must be >= 1")
 
@@ -154,7 +157,7 @@ def run_episodes(simulators: List[ScenarioSimulator], policy,
             results.append(world_episodes)
         return results
 
-    batch = BatchSimulator(simulators)
+    batch = BatchSimulator(simulators, engine=engine)
     results = [[] for _ in simulators]
     remaining = [episodes] * len(simulators)
     totals: List[Optional[Dict]] = [None] * len(simulators)

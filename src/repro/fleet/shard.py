@@ -103,15 +103,20 @@ class ShardPlan:
     store_dir: str
     snapshot_ref: str
     snapshot_digest: str
-    #: "vector" steps every cell of the shard in one lockstep
+    #: "vector" (and the "vector-compat" reference tier) step every
+    #: cell of the shard in one lockstep
     #: :class:`~repro.engine.batch.BatchSimulator`; "scalar" runs the
     #: classic sequential per-cell loop.  Cell results (decision
-    #: digests included) are identical either way -- the engines share
-    #: one kernel code path -- so the choice never enters cache keys.
+    #: digests included) are identical across those three -- they share
+    #: one float64 kernel code path -- so the choice never enters
+    #: cache keys.  "vector-fast" trades that bit-parity for speed
+    #: (float32 + optional numba); never use it for digest-bearing
+    #: runs.
     engine: str = "vector"
 
 
-def _drive_cells_lockstep(generators, episodes: int) -> None:
+def _drive_cells_lockstep(generators, episodes: int,
+                          engine: str = "vector") -> None:
     """Advance every cell's episodes through one batched engine.
 
     Each slot serves every active cell's decision batch through its
@@ -122,7 +127,8 @@ def _drive_cells_lockstep(generators, episodes: int) -> None:
     """
     from repro.engine.batch import BatchSimulator
 
-    batch = BatchSimulator([g.simulator for g in generators])
+    batch = BatchSimulator([g.simulator for g in generators],
+                           engine=engine)
     active = []
     for index, generator in enumerate(generators):
         generator.begin_run(episodes)
@@ -184,9 +190,12 @@ def run_fleet_shard(plan: ShardPlan,
             f"snapshot {plan.snapshot_ref!r} changed since the fleet "
             f"was planned (digest {snapshot.digest[:12]} != "
             f"{plan.snapshot_digest[:12]}); re-plan the fleet")
-    if plan.engine not in ("scalar", "vector"):
-        raise ValueError(f"unknown engine {plan.engine!r}; "
-                         "expected 'scalar' or 'vector'")
+    from repro.engine.batch import BATCH_ENGINES
+
+    if plan.engine != "scalar" and plan.engine not in BATCH_ENGINES:
+        raise ValueError(
+            f"unknown engine {plan.engine!r}; expected 'scalar' or "
+            f"one of {BATCH_ENGINES}")
     with trace("fleet.shard", shard=plan.shard):
         aggregate = Telemetry()
         generators = []
@@ -204,8 +213,9 @@ def run_fleet_shard(plan: ShardPlan,
                 telemetry=telemetry,
                 trace_attrs={"cell": cell.cell,
                              "scenario": cell.scenario}))
-        if plan.engine == "vector" and len(generators) > 1:
-            _drive_cells_lockstep(generators, plan.spec.episodes)
+        if plan.engine != "scalar" and len(generators) > 1:
+            _drive_cells_lockstep(generators, plan.spec.episodes,
+                                  engine=plan.engine)
             reports = [generator.finish_run()
                        for generator in generators]
         else:

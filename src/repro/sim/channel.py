@@ -20,7 +20,7 @@ struct-of-arrays refactor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,29 @@ def snr_to_cqi_array(snr_db: np.ndarray) -> np.ndarray:
     """Vectorised SNR -> CQI quantisation (1..15), any shape."""
     cqi = np.searchsorted(CQI_SNR_THRESHOLDS_DB, snr_db, side="right")
     return np.clip(cqi, 1, NUM_CQI)
+
+
+def _ar1_step(snr_db: np.ndarray, mean_snr_db: np.ndarray,
+              innovations: np.ndarray, correlation: float,
+              innovation_std_db: float, cqi_out: np.ndarray) -> None:
+    """One slot of AR(1) evolution, fully in place.
+
+    Writes the new SNR into ``snr_db`` (and the quantisation into
+    ``cqi_out``); ``innovations`` is consumed as scratch.  The op
+    sequence is the historical ``mean + rho * (snr - mean) + sigma *
+    z`` with the identical association -- in-place outputs and
+    commuted scalar factors change no bits.
+    """
+    rho = correlation
+    sigma = innovation_std_db * np.sqrt(1.0 - rho ** 2)
+    np.subtract(snr_db, mean_snr_db, out=snr_db)
+    np.multiply(snr_db, rho, out=snr_db)
+    np.add(snr_db, mean_snr_db, out=snr_db)
+    np.multiply(innovations, sigma, out=innovations)
+    np.add(snr_db, innovations, out=snr_db)
+    np.clip(np.searchsorted(CQI_SNR_THRESHOLDS_DB, snr_db,
+                            side="right"),
+            1, NUM_CQI, out=cqi_out)
 
 
 class ChannelProcess:
@@ -94,13 +117,15 @@ class ChannelProcess:
     def advance(self, innovations: np.ndarray) -> None:
         """Apply one slot of AR(1) evolution from given standard-normal
         innovations (the batched engine pre-draws these per world so
-        the per-world stream matches the scalar engine exactly)."""
-        rho = self.correlation
-        sigma = self.innovation_std_db * np.sqrt(1.0 - rho ** 2)
-        self.snr_db = ((self.mean_snr_db
-                        + rho * (self.snr_db - self.mean_snr_db))
-                       + sigma * innovations)
-        self.cqi = snr_to_cqi_array(self.snr_db)
+        the per-world stream matches the scalar engine exactly).
+
+        Updates state in place -- ``snr_db``/``cqi`` keep their
+        identity, so :class:`ChannelBank` row views stay live -- and
+        consumes ``innovations`` as scratch.
+        """
+        innovations = np.asarray(innovations, dtype=np.float64)
+        _ar1_step(self.snr_db, self.mean_snr_db, innovations,
+                  self.correlation, self.innovation_std_db, self.cqi)
 
     @property
     def cqis(self) -> np.ndarray:
@@ -122,3 +147,160 @@ class ChannelProcess:
     def normalized_quality(self) -> float:
         """Average CQI scaled to [0, 1] for state vectors."""
         return self.average_cqi() / NUM_CQI
+
+
+class ChannelBank:
+    """One network's channels as stacked ``(S, U)`` state arrays.
+
+    Adopting a bank moves every :class:`ChannelProcess`'s state into
+    rows of three shared arrays (the process attributes become row
+    views, so per-channel readers keep working), after which
+    :meth:`step` advances the whole population with a handful of array
+    ops and **one** ``standard_normal`` block -- which consumes the
+    shared generator exactly like the historical per-channel size-``U``
+    draws in slice order (the block/sequential stream equivalence is
+    pinned by ``tests/test_engine.py``).  This is what makes
+    channel stepping O(1) Python work per network per slot instead of
+    O(slices).
+
+    Built by :meth:`adopt`, which returns ``None`` (no bank, callers
+    keep the per-channel loop) when the population is not uniform:
+    differing user counts, AR(1) parameters, or generators.
+    """
+
+    def __init__(self, channels: Sequence[ChannelProcess]) -> None:
+        first = channels[0]
+        self.channels = list(channels)
+        self.correlation = first.correlation
+        self.innovation_std_db = first.innovation_std_db
+        num = len(channels)
+        users = first.num_users
+        self._z = np.empty((num, users))
+        self.repoint(np.empty((num, users)), np.empty((num, users)),
+                     np.empty((num, users), dtype=np.intp))
+
+    def repoint(self, mean_snr_db: np.ndarray, snr_db: np.ndarray,
+                cqi: np.ndarray) -> None:
+        """Move this bank's state into caller-owned ``(S, U)`` views.
+
+        Copies the current values in, then re-points the bank *and*
+        every adopted channel at the new storage -- this is how
+        :class:`FleetChannelBank` stacks many networks' banks into one
+        contiguous block without breaking per-channel readers.
+        """
+        for i, channel in enumerate(self.channels):
+            mean_snr_db[i] = channel.mean_snr_db
+            snr_db[i] = channel.snr_db
+            cqi[i] = channel.cqi
+            channel.mean_snr_db = mean_snr_db[i]
+            channel.snr_db = snr_db[i]
+            channel.cqi = cqi[i]
+        self.mean_snr_db = mean_snr_db
+        self.snr_db = snr_db
+        self.cqi = cqi
+
+    @classmethod
+    def adopt(cls, channels: Sequence[ChannelProcess]
+              ) -> Optional["ChannelBank"]:
+        """Stack ``channels`` into a bank, or ``None`` if non-uniform."""
+        channels = list(channels)
+        if not channels:
+            return None
+        first = channels[0]
+        for channel in channels[1:]:
+            if (channel.num_users != first.num_users
+                    or channel.correlation != first.correlation
+                    or channel.innovation_std_db
+                    != first.innovation_std_db
+                    or channel._rng is not first._rng):
+                return None
+        return cls(channels)
+
+    def step(self, rng: np.random.Generator) -> None:
+        """Advance every channel by one slot (one block draw)."""
+        rng.standard_normal(out=self._z)
+        _ar1_step(self.snr_db, self.mean_snr_db, self._z,
+                  self.correlation, self.innovation_std_db, self.cqi)
+
+
+class FleetChannelBank:
+    """Many networks' channel banks stacked into one ``(R, U)`` block.
+
+    The batch engine steps B worlds per slot; with per-network banks
+    that is still B Python-level AR(1) updates on small ``(S, U)``
+    arrays -- at B=128 the dispatch overhead dominates the actual
+    math.  The fleet bank re-points every world's bank (and, through
+    :meth:`ChannelBank.repoint`, every channel) into rows of one
+    contiguous block, so a full-fleet slot is B innovation draws plus
+    **one** fused AR(1) update.
+
+    RNG parity is preserved exactly: each world's innovations are
+    drawn from *its own* generator into its row block, in world order
+    -- the identical stream the per-network banks (and the historical
+    per-channel loops) consume.  Worlds can also be stepped
+    individually (:meth:`step_worlds` with a subset) when some worlds
+    sit out a slot; only the stepped worlds' generators advance.
+
+    Built by :meth:`adopt`, which returns ``None`` when the banks are
+    not uniform (user counts or AR(1) parameters differ) -- callers
+    then keep the per-network path.
+    """
+
+    def __init__(self, banks: Sequence[ChannelBank],
+                 rngs: Sequence[np.random.Generator]) -> None:
+        first = banks[0]
+        self.banks = list(banks)
+        self.rngs = list(rngs)
+        self.correlation = first.correlation
+        self.innovation_std_db = first.innovation_std_db
+        total = sum(bank.snr_db.shape[0] for bank in banks)
+        users = first.snr_db.shape[1]
+        self.mean_snr_db = np.empty((total, users))
+        self.snr_db = np.empty((total, users))
+        self.cqi = np.empty((total, users), dtype=np.intp)
+        self._z = np.empty((total, users))
+        self.rows = []                    # (lo, hi) per world
+        row = 0
+        for bank in banks:
+            hi = row + bank.snr_db.shape[0]
+            bank.repoint(self.mean_snr_db[row:hi],
+                         self.snr_db[row:hi], self.cqi[row:hi])
+            self.rows.append((row, hi))
+            row = hi
+
+    @classmethod
+    def adopt(cls, banks: Sequence[Optional[ChannelBank]],
+              rngs: Sequence[np.random.Generator]
+              ) -> Optional["FleetChannelBank"]:
+        """Stack per-world banks, or ``None`` if any is missing or the
+        populations are not uniform across worlds."""
+        banks = list(banks)
+        if not banks or any(bank is None for bank in banks):
+            return None
+        first = banks[0]
+        for bank in banks[1:]:
+            if (bank.snr_db.shape[1] != first.snr_db.shape[1]
+                    or bank.correlation != first.correlation
+                    or bank.innovation_std_db
+                    != first.innovation_std_db):
+                return None
+        return cls(banks, rngs)
+
+    def step_worlds(self, worlds: Sequence[int]) -> None:
+        """Advance the given worlds' channels by one slot.
+
+        The full fleet steps as one fused update; a strict subset
+        falls back to per-bank steps (the bank arrays are views into
+        the fleet block, so both paths write the same storage).
+        """
+        if len(worlds) == len(self.banks):
+            z = self._z
+            for b in worlds:
+                lo, hi = self.rows[b]
+                self.rngs[b].standard_normal(out=z[lo:hi])
+            _ar1_step(self.snr_db, self.mean_snr_db, z,
+                      self.correlation, self.innovation_std_db,
+                      self.cqi)
+            return
+        for b in worlds:
+            self.banks[b].step(self.rngs[b])

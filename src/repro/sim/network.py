@@ -29,7 +29,7 @@ from repro.config import (
     SliceSpec,
 )
 from repro.sim.apps import AppPerformance
-from repro.sim.channel import ChannelProcess
+from repro.sim.channel import ChannelBank, ChannelProcess
 from repro.sim.containers import ContainerRuntime
 from repro.sim.core_network import CoreNetwork
 from repro.sim.edge import EdgeServerPool
@@ -143,6 +143,18 @@ class EndToEndNetwork:
         self._rows_cache = None
         #: Reused per-slot (cqi, margin) gather buffers.
         self._channel_buffers = None
+        #: Stacked channel state (see :meth:`channel_bank`); rebuilt
+        #: lazily after slice churn.
+        self._bank: Optional[ChannelBank] = None
+        self._bank_ready = False
+        #: Persistent kernel arena + reused slot staging buffers for
+        #: the scalar ``evaluate_slot`` route (lazily built), so the
+        #: scalar hot path shares the batch engine's zero-allocation
+        #: steady state.
+        self._kernel_arena = None
+        self._slot_cond = None
+        self._slot_matrix = None
+        self._slot_rates = None
         if slices:
             for spec in slices:
                 self.add_slice(spec)
@@ -164,6 +176,8 @@ class EndToEndNetwork:
             self.core.hss.provision(imsi, spec.name)
             self.core.attach(imsi)
         self._rows_cache = None
+        self._bank = None
+        self._bank_ready = False
 
     def remove_slice(self, name: str) -> None:
         if name not in self.slices:
@@ -175,6 +189,8 @@ class EndToEndNetwork:
         del self.channels[name]
         del self.slices[name]
         self._rows_cache = None
+        self._bank = None
+        self._bank_ready = False
 
     @property
     def slice_names(self) -> List[str]:
@@ -218,8 +234,32 @@ class EndToEndNetwork:
 
     # ---- slot evaluation -----------------------------------------------
 
+    def channel_bank(self) -> Optional[ChannelBank]:
+        """This network's stacked channel state (built lazily).
+
+        ``None`` when the channel population is non-uniform (see
+        :meth:`ChannelBank.adopt`); callers then fall back to the
+        per-channel loop.
+        """
+        if not self._bank_ready:
+            self._bank = (ChannelBank.adopt(list(self.channels
+                                                 .values()))
+                          if self.channels else None)
+            self._bank_ready = True
+        return self._bank
+
     def step_channels(self) -> None:
-        """Advance every slice's radio channel by one slot."""
+        """Advance every slice's radio channel by one slot.
+
+        One stacked AR(1) update over the channel bank; consumes the
+        RNG identically to the historical per-channel loop (one
+        ``(S, U)`` block draw == S sequential size-``U`` draws in
+        slice order).
+        """
+        bank = self.channel_bank()
+        if bank is not None:
+            bank.step(self._rng)
+            return
         for channel in self.channels.values():
             channel.step()
 
@@ -246,6 +286,10 @@ class EndToEndNetwork:
             self._channel_buffers = (np.empty(shape, dtype=np.intp),
                                      np.empty(shape))
         cqi, margin = self._channel_buffers
+        bank = self.channel_bank()
+        if bank is not None:
+            np.subtract(bank.snr_db, bank.mean_snr_db, out=margin)
+            return bank.cqi, margin
         for i, channel in enumerate(self.channels.values()):
             cqi[i] = channel.cqi
             margin[i] = channel.margins_db
@@ -266,13 +310,22 @@ class EndToEndNetwork:
         arrival_rates:
             Slice name -> realised arrivals per second this slot.
         """
+        from repro.engine.arena import KernelArena
         from repro.engine.kernels import WorldConditions, evaluate_rows
 
         missing = set(self.slices) - set(actions)
         if missing:
             raise KeyError(f"missing actions for slices: {sorted(missing)}")
         names = list(self.slices)
-        matrix = np.empty((len(names), NUM_ACTIONS))
+        if self._kernel_arena is None:
+            self._kernel_arena = KernelArena()
+        if self._slot_matrix is None \
+                or self._slot_matrix.shape[0] != len(names):
+            self._slot_matrix = np.empty((len(names), NUM_ACTIONS))
+            self._slot_rates = np.empty(len(names))
+            self._slot_cond = WorldConditions.nominal(1)
+        matrix = self._slot_matrix
+        rates = self._slot_rates
         for i, name in enumerate(names):
             arr = np.asarray(actions[name], dtype=float)
             if arr.shape != (NUM_ACTIONS,):
@@ -280,13 +333,12 @@ class EndToEndNetwork:
                     f"action must have shape ({NUM_ACTIONS},), "
                     f"got {arr.shape}")
             matrix[i] = arr
-        rates = np.asarray([float(arrival_rates.get(name, 0.0))
-                            for name in names])
+            rates[i] = float(arrival_rates.get(name, 0.0))
         rows = self.slot_rows()
         cqi, margin = self.gather_channel_state()
         out = evaluate_rows(
-            rows, WorldConditions.from_fabrics([self.fabric]),
-            matrix, rates, cqi, margin)
+            rows, self._slot_cond.refresh([self.fabric]),
+            matrix, rates, cqi, margin, arena=self._kernel_arena)
         self._apply_slot_state(matrix, out)
         return self.wrap_reports(rows, out, rates)
 

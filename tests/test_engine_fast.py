@@ -1,0 +1,141 @@
+"""``vector-fast`` tier accuracy and availability suite.
+
+The fast tier (:mod:`repro.engine.fastpath`) runs the same kernels on
+a float32 arena, with an optional numba-fused queueing loop.  It is
+*not* bit-identical to the float64 oracle and never digest-bearing;
+its contract is the documented tolerance
+(:data:`~repro.engine.fastpath.FAST_RTOL` /
+:data:`~repro.engine.fastpath.FAST_ATOL`), which this suite pins over
+the full scenario catalog and a 32-world fuzz corpus.  It also pins
+availability: ``vector-fast`` must work on a numba-less interpreter
+(plain float32 numpy), and the numba-specific tests skip rather than
+fail there.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.config import NUM_ACTIONS
+from repro.engine import BatchSimulator, ConstantBatchPolicy
+from repro.engine import fastpath
+from repro.engine.fastpath import (
+    FAST_ATOL,
+    FAST_RTOL,
+    HAVE_NUMBA,
+    make_fast_arena,
+)
+from repro.experiments.fuzz import build_method_policies, \
+    run_fuzz_batch
+from repro.experiments.harness import make_simulators, run_episodes
+from repro.scenarios.fuzz import generate_corpus
+
+requires_numba = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba not installed (fast tier runs "
+                           "plain float32 numpy)")
+
+#: Short catalog episodes keep the 11-scenario sweep inside tier-1
+#: budget; tolerance scales with the horizon, so the bound is the
+#: same per-slot contract the full episodes get.
+CATALOG_SLOTS = 16
+
+
+def _episode_totals(name, engine, slots=CATALOG_SLOTS):
+    spec = scenarios.get(name)
+    traffic = dataclasses.replace(spec.build_config().traffic,
+                                  slots_per_episode=slots)
+    spec = dataclasses.replace(spec, traffic_cfg=traffic)
+    cfg = spec.build_config()
+    sims = make_simulators(cfg, spec, count=2)
+    policy = ConstantBatchPolicy(np.full(NUM_ACTIONS, 0.3))
+    return run_episodes(sims, policy, episodes=1, engine=engine)
+
+
+def _assert_within_fast_tolerance(oracle, fast, slots, where):
+    for world64, world32 in zip(oracle, fast):
+        for ep64, ep32 in zip(world64, world32):
+            assert ep64.keys() == ep32.keys()
+            for name in ep64:
+                for kind in ("cost", "usage"):
+                    ref = ep64[name][kind]
+                    got = ep32[name][kind]
+                    bound = FAST_RTOL * abs(ref) + FAST_ATOL * slots
+                    assert abs(got - ref) <= bound, (
+                        f"{where}: slice {name!r} {kind} drifted "
+                        f"{abs(got - ref):g} (> {bound:g}) from the "
+                        f"float64 oracle")
+
+
+class TestCatalogTolerance:
+    @pytest.mark.parametrize("name", sorted(scenarios.names()))
+    def test_fast_matches_float64_within_tolerance(self, name):
+        oracle = _episode_totals(name, "vector")
+        fast = _episode_totals(name, "vector-fast")
+        _assert_within_fast_tolerance(oracle, fast, CATALOG_SLOTS,
+                                      where=name)
+
+
+class TestFuzzCorpusTolerance:
+    def test_32_world_corpus_within_tolerance(self):
+        """The fuzz oracle's float64-vs-fast tolerance mode over a
+        32-spec corpus: any invariant or tolerance breach fails."""
+        specs = generate_corpus(seed=11, count=32)
+        policy, _ = build_method_policies(["baseline"])["Baseline"]
+        rows = run_fuzz_batch(specs, policy, engine="vector-fast",
+                              check_parity=True)
+        breaches = [row for row in rows if row["breaches"]]
+        assert not breaches, (
+            "fast tier breached the fuzz oracle on "
+            f"{len(breaches)}/32 worlds: "
+            f"{[row['breaches'] for row in breaches][:3]}")
+
+
+class TestAvailability:
+    def test_fast_arena_is_float32(self):
+        arena = make_fast_arena()
+        assert arena.dtype == np.float32
+        assert arena.take(3).dtype == np.float32
+
+    def test_vector_fast_works_without_numba(self, monkeypatch):
+        monkeypatch.setattr(fastpath, "HAVE_NUMBA", False)
+        arena = make_fast_arena()
+        assert not hasattr(arena, "jit"), \
+            "numba-less fast arena must not carry a jit hook"
+        spec = scenarios.get("short_horizon")
+        cfg = spec.build_config()
+        sims = make_simulators(cfg, spec, count=2)
+        batch = BatchSimulator(sims, engine="vector-fast")
+        batch.reset()
+        actions = [np.full((len(batch.slice_names(b)), NUM_ACTIONS),
+                           0.25) for b in range(batch.num_worlds)]
+        step = batch.step(actions)
+        assert np.all(np.isfinite(step.observations))
+
+    def test_float64_stays_the_default_engine(self):
+        spec = scenarios.get("short_horizon")
+        cfg = spec.build_config()
+        batch = BatchSimulator(make_simulators(cfg, spec, count=1))
+        assert batch.engine == "vector"
+        assert batch._arena.dtype == np.float64
+
+
+@requires_numba
+class TestNumbaTier:
+    def test_jit_hook_attached(self):
+        arena = make_fast_arena()
+        assert callable(getattr(arena, "jit", None))
+
+    def test_jit_queueing_matches_numpy(self):
+        from repro.engine.kernels import queueing_latency_rows
+
+        jit = fastpath.queueing_jit()
+        rng = np.random.default_rng(7)
+        service = rng.uniform(0.1, 40.0, 512).astype(np.float32)
+        rho = rng.uniform(-0.2, 1.4, 512).astype(np.float32)
+        out = np.empty(512, dtype=np.float32)
+        jit(service, rho, out)
+        want = queueing_latency_rows(service.astype(np.float64),
+                                     rho.astype(np.float64))
+        np.testing.assert_allclose(out, want, rtol=1e-4)
